@@ -1,0 +1,215 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper (one benchmark per artifact, at experiments.Quick scale) and
+// measures the hot kernels underneath them.
+//
+//	go test -bench=BenchmarkTable1 -benchmem
+//	go test -bench=. -benchmem          # full suite
+//
+// Artifact benchmarks print the regenerated table once via b.Log at -v, and
+// report wall time per full regeneration.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/flowbench"
+	"repro/internal/icl"
+	"repro/internal/logparse"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pretrain"
+	"repro/internal/sft"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+	"repro/internal/transformer"
+)
+
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+)
+
+// benchScale is a reduced working scale for the artifact benchmarks so the
+// full `-bench=.` sweep completes in minutes on a single core; use
+// cmd/expbench (quick or standard scale) for recorded accuracy numbers.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Train: 150, Val: 50, Test: 80,
+		PretrainSteps: 60, Epochs: 1, ICLFTSteps: 60, ICLEval: 24,
+		Runs: 1, Fig6Epochs: 4, Fig12Shots: []int{0, 2}, Seed: 42,
+	}
+}
+
+// benchLab shares one lab (datasets, tokenizer, pre-trained checkpoints)
+// across all artifact benchmarks, as the experiments themselves do.
+func benchLab() *experiments.Lab {
+	labOnce.Do(func() { lab = experiments.NewLab(benchScale()) })
+	return lab
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	def, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := benchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := def.Run(l)
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// Artifact benchmarks — one per paper table/figure.
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Ablation benchmarks — design-choice sweeps beyond the paper's artifacts.
+
+func BenchmarkAblationPretrain(b *testing.B) { benchExperiment(b, "abl-pretrain") }
+func BenchmarkAblationLoRARank(b *testing.B) { benchExperiment(b, "abl-lora-rank") }
+func BenchmarkAblationQuant(b *testing.B)    { benchExperiment(b, "abl-quant") }
+func BenchmarkAblationDebias(b *testing.B)   { benchExperiment(b, "abl-debias") }
+func BenchmarkExtensionTypes(b *testing.B)   { benchExperiment(b, "ext-types") }
+
+// Kernel micro-benchmarks — the operations the experiments spend their time
+// in.
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(128, 128)
+	y := tensor.New(128, 128)
+	tensor.Gaussian(x, 1, rng)
+	tensor.Gaussian(y, 1, rng)
+	dst := tensor.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, x, y)
+	}
+}
+
+func BenchmarkAttentionForward(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	attn := transformer.NewMultiHeadAttention("bench", 64, 4, true, rng)
+	x := tensor.New(64, 64)
+	tensor.Gaussian(x, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attn.Forward(x, false)
+	}
+}
+
+func BenchmarkEncoderForwardBackward(b *testing.B) {
+	cfg := transformer.Config{
+		Name: "bench", VocabSize: 300, MaxSeqLen: 64, DModel: 48,
+		NumHeads: 4, NumLayers: 4, FFNDim: 96, NumClasses: 2,
+	}
+	m := transformer.New(cfg, tensor.NewRNG(3))
+	ce := nn.NewSoftmaxCrossEntropy()
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i % 300
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := m.ForwardCls(ids, true)
+		_, grad := ce.Loss(logits, []int{i % 2})
+		m.BackwardCls(grad)
+		nn.ZeroGrads(m.Params())
+	}
+}
+
+func BenchmarkDecoderNextToken(b *testing.B) {
+	cfg := transformer.Config{
+		Name: "bench", VocabSize: 300, MaxSeqLen: 512, DModel: 96,
+		NumHeads: 4, NumLayers: 6, FFNDim: 192, Causal: true, NumClasses: 2,
+	}
+	m := transformer.New(cfg, tensor.NewRNG(4))
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = i % 300
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NextTokenLogits(prompt)
+	}
+}
+
+func BenchmarkTokenizerEncode(b *testing.B) {
+	ds := flowbench.Generate(flowbench.Genome, 1).Subsample(100, 0, 0, 1)
+	corpus := logparse.Corpus(ds.Train)
+	tok := tokenizer.Build(corpus)
+	sentence := corpus[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(sentence, true)
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flowbench.Generate(flowbench.Genome, uint64(i))
+	}
+}
+
+func BenchmarkSFTEpoch(b *testing.B) {
+	ds := flowbench.Generate(flowbench.Genome, 1).Subsample(100, 0, 0, 1)
+	corpus := logparse.Corpus(ds.Train)
+	tok := tokenizer.Build(corpus)
+	m := models.MustGet("distilbert-base-uncased").Build(tok.VocabSize())
+	c := sft.NewClassifier(m, tok)
+	examples := sft.JobExamples(ds.Train)
+	cfg := sft.DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sft.Train(c, examples, nil, cfg)
+	}
+}
+
+func BenchmarkICLClassify(b *testing.B) {
+	ds := flowbench.Generate(flowbench.Genome, 1).Subsample(200, 0, 20, 1)
+	corpus := pretrain.BuildCorpus(pretrain.CorpusOptions{
+		SentencesPerWorkflow: 50, ICLDocs: 20, ExamplesPerDoc: 3, Seed: 1,
+	})
+	corpus = append(corpus, logparse.Corpus(ds.Train)...)
+	tok := tokenizer.Build(corpus)
+	d := icl.NewDetector(models.MustGet("gpt2").Build(tok.VocabSize()), tok)
+	exs := icl.PromptExamples(icl.SelectExamples(ds.Train, 5, icl.Mixed, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ClassifyJob(ds.Test[i%len(ds.Test)], exs)
+	}
+}
+
+func BenchmarkQuantize4Bit(b *testing.B) {
+	rng := tensor.NewRNG(5)
+	m := tensor.New(256, 256)
+	tensor.Gaussian(m, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Quantize4Bit(m, nn.DefaultQuantBlock)
+	}
+}

@@ -1,0 +1,70 @@
+// Command expbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	expbench -exp all                 # run every experiment at quick scale
+//	expbench -exp fig4 -scale standard
+//	expbench -list
+//
+// Each experiment prints a table shaped like the corresponding artifact in
+// the paper; EXPERIMENTS.md records paper-reported vs measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale = flag.String("scale", "quick", "working scale: quick or standard")
+		seed  = flag.Uint64("seed", 42, "experiment seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-8s %s\n", d.ID, d.Paper)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick()
+	case "standard":
+		sc = experiments.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "expbench: unknown scale %q (want quick or standard)\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	lab := experiments.NewLab(sc)
+
+	run := func(d experiments.Def) {
+		start := time.Now()
+		tab := d.Run(lab)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s in %.1fs)\n\n", d.ID, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, d := range experiments.All() {
+			run(d)
+		}
+		return
+	}
+	d, err := experiments.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expbench:", err)
+		os.Exit(2)
+	}
+	run(d)
+}

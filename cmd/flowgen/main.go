@@ -1,0 +1,93 @@
+// Command flowgen generates a Flow-Bench-style synthetic dataset and writes
+// it to disk in one of three formats:
+//
+//	flowgen -workflow 1000-genome -out data/ -format csv
+//	flowgen -workflow montage -format log        # raw key=value log lines
+//	flowgen -workflow all -format sentences      # parsed Fig-2 sentences
+//
+// One file is written per split (train/validation/test). Counts match the
+// paper's Table I exactly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+)
+
+func main() {
+	var (
+		workflow = flag.String("workflow", "all", "1000-genome, montage, predict-future-sales, or all")
+		out      = flag.String("out", ".", "output directory")
+		format   = flag.String("format", "csv", "csv, log, or sentences")
+		seed     = flag.Uint64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	var wfs []flowbench.Workflow
+	if *workflow == "all" {
+		wfs = flowbench.Workflows
+	} else {
+		wfs = []flowbench.Workflow{flowbench.Workflow(*workflow)}
+	}
+	for _, wf := range wfs {
+		if err := writeWorkflow(wf, *out, *format, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "flowgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeWorkflow(wf flowbench.Workflow, dir, format string, seed uint64) error {
+	ds := flowbench.Generate(wf, seed)
+	for _, split := range flowbench.SplitNames {
+		jobs := ds.Split(split)
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.%s", wf, split, ext(format)))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if format == "csv" {
+			fmt.Fprintln(w, logparse.CSVHeader())
+		}
+		for _, j := range jobs {
+			switch format {
+			case "csv":
+				fmt.Fprintln(w, logparse.CSVRow(j))
+			case "log":
+				fmt.Fprintln(w, logparse.LogLine(j))
+			case "sentences":
+				fmt.Fprintln(w, logparse.SentenceWithLabel(j))
+			default:
+				f.Close()
+				return fmt.Errorf("unknown format %q", format)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d jobs)\n", path, len(jobs))
+	}
+	return nil
+}
+
+func ext(format string) string {
+	switch format {
+	case "csv":
+		return "csv"
+	case "log":
+		return "log"
+	default:
+		return "txt"
+	}
+}

@@ -1,0 +1,201 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/flowbench"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// gcnLayer is one graph-convolution layer H' = Â·H·W + b with symmetric
+// normalization Â = D^{-1/2}(A+I)D^{-1/2}. The adjacency is supplied per
+// forward call (graphs differ per trace).
+type gcnLayer struct {
+	lin *nn.Linear
+
+	adj *tensor.Matrix // cached Â for backward
+}
+
+func newGCNLayer(name string, in, out int, rng *tensor.RNG) *gcnLayer {
+	return &gcnLayer{lin: nn.NewLinear(name, in, out, rng)}
+}
+
+// forward computes Â·(H·W + b); adj must be the normalized adjacency.
+func (g *gcnLayer) forward(adj, h *tensor.Matrix, train bool) *tensor.Matrix {
+	g.adj = adj
+	hw := g.lin.Forward(h, train)
+	return tensor.MatMul(nil, adj, hw)
+}
+
+// backward: dHW = Âᵀ·dout = Â·dout (symmetric), then through the linear.
+func (g *gcnLayer) backward(dout *tensor.Matrix) *tensor.Matrix {
+	dhw := tensor.MatMul(nil, g.adj, dout)
+	g.adj = nil
+	return g.lin.Backward(dhw)
+}
+
+func (g *gcnLayer) params() []*nn.Param { return g.lin.Params() }
+
+// NormalizedAdjacency builds Â = D^{-1/2}(A+I)D^{-1/2} over the undirected
+// version of the edges among n nodes. Edges reference local indices.
+func NormalizedAdjacency(n int, edges [][2]int) *tensor.Matrix {
+	a := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	for _, e := range edges {
+		a.Set(e[0], e[1], 1)
+		a.Set(e[1], e[0], 1)
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		for _, v := range a.Row(i) {
+			d += float64(v)
+		}
+		deg[i] = 1 / math.Sqrt(d)
+	}
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		for j := range row {
+			row[j] = float32(float64(row[j]) * deg[i] * deg[j])
+		}
+	}
+	return a
+}
+
+// TraceGraph is one workflow execution as a graph: node features, labels,
+// and the induced normalized adjacency over the jobs present.
+type TraceGraph struct {
+	Jobs []flowbench.Job
+	Adj  *tensor.Matrix
+}
+
+// BuildTraceGraphs groups jobs by trace and builds induced subgraphs of the
+// workflow DAG over the jobs present in each trace (splits are job-level, so
+// a split may hold only part of a trace).
+func BuildTraceGraphs(dag *flowbench.DAG, jobs []flowbench.Job) []TraceGraph {
+	byTrace := flowbench.TraceJobs(jobs)
+	// Deterministic order over trace ids.
+	ids := make([]int, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+	var out []TraceGraph
+	for _, id := range ids {
+		trace := byTrace[id]
+		local := make(map[int]int, len(trace))
+		for i, j := range trace {
+			local[j.NodeIndex] = i
+		}
+		var edges [][2]int
+		for _, e := range dag.Edges {
+			u, okU := local[e[0]]
+			v, okV := local[e[1]]
+			if okU && okV {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		out = append(out, TraceGraph{Jobs: trace, Adj: NormalizedAdjacency(len(trace), edges)})
+	}
+	return out
+}
+
+// GCN is the supervised graph-neural-network baseline of Figure 4 (following
+// the paper's reference [30]): two graph-convolution layers over trace
+// graphs with a per-node classification head.
+type GCN struct {
+	std    *Standardizer
+	l1, l2 *gcnLayer
+	act    *nn.ReLU
+	head   *nn.Linear
+}
+
+// GCNConfig controls GCN training.
+type GCNConfig struct {
+	Hidden int
+	Epochs int
+	LR     float64
+	Seed   uint64
+}
+
+// DefaultGCNConfig is the baseline recipe.
+func DefaultGCNConfig() GCNConfig { return GCNConfig{Hidden: 16, Epochs: 30, LR: 5e-3, Seed: 2} }
+
+// TrainGCN fits the GCN on the trace graphs of the training jobs.
+func TrainGCN(dag *flowbench.DAG, train []flowbench.Job, cfg GCNConfig) *GCN {
+	rng := tensor.NewRNG(cfg.Seed)
+	g := &GCN{
+		std:  FitStandardizer(train),
+		l1:   newGCNLayer("gcn.l1", flowbench.NumFeatures, cfg.Hidden, rng),
+		l2:   newGCNLayer("gcn.l2", cfg.Hidden, cfg.Hidden, rng),
+		act:  nn.NewReLU(),
+		head: nn.NewLinear("gcn.head", cfg.Hidden, 2, rng),
+	}
+	graphs := BuildTraceGraphs(dag, train)
+	opt := nn.NewAdamW(cfg.LR, 1e-4)
+	ce := nn.NewSoftmaxCrossEntropy()
+	params := g.params()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, tg := range graphs {
+			logits := g.forward(tg, true)
+			_, grad := ce.Loss(logits, Labels(tg.Jobs))
+			g.backward(tg, grad)
+			opt.Step(params)
+		}
+	}
+	return g
+}
+
+func (g *GCN) params() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, g.l1.params()...)
+	out = append(out, g.l2.params()...)
+	out = append(out, g.head.Params()...)
+	return out
+}
+
+func (g *GCN) forward(tg TraceGraph, train bool) *tensor.Matrix {
+	h := g.std.Matrix(tg.Jobs)
+	h = g.l1.forward(tg.Adj, h, train)
+	h = g.act.Forward(h, train)
+	h = g.l2.forward(tg.Adj, h, train)
+	return g.head.Forward(h, train)
+}
+
+func (g *GCN) backward(tg TraceGraph, grad *tensor.Matrix) {
+	d := g.head.Backward(grad)
+	d = g.l2.backward(d)
+	d = g.act.Backward(d)
+	g.l1.backward(d)
+}
+
+// Predict classifies all jobs grouped into trace graphs, returning labels
+// aligned with the input order.
+func (g *GCN) Predict(dag *flowbench.DAG, jobs []flowbench.Job) []int {
+	graphs := BuildTraceGraphs(dag, jobs)
+	pred := make(map[[2]int]int, len(jobs)) // (trace, node) → label
+	for _, tg := range graphs {
+		logits := g.forward(tg, false)
+		for i, j := range tg.Jobs {
+			pred[[2]int{j.TraceID, j.NodeIndex}] = tensor.ArgMax(logits.Row(i))
+		}
+	}
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = pred[[2]int{j.TraceID, j.NodeIndex}]
+	}
+	return out
+}
+
+// Evaluate scores the GCN on jobs.
+func (g *GCN) Evaluate(dag *flowbench.DAG, jobs []flowbench.Job) metrics.Confusion {
+	return metrics.NewConfusion(Labels(jobs), g.Predict(dag, jobs))
+}

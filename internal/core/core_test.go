@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+)
+
+// trainedOnce shares one small SFT detector across tests (training is the
+// slow part).
+var (
+	once    sync.Once
+	testDet Detector
+	testDS  *flowbench.Dataset
+)
+
+func detector(t *testing.T) (Detector, *flowbench.Dataset) {
+	t.Helper()
+	once.Do(func() {
+		det, report, err := Train(Options{
+			Approach: SFT, Model: "distilbert-base-uncased",
+			TrainSize: 400, PretrainSteps: 120, Epochs: 2, Seed: 9,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if report.Test.Accuracy() < 0.6 {
+			panic("test detector too weak")
+		}
+		testDet = det
+		testDS = flowbench.Generate(flowbench.Genome, 9).Subsample(100, 50, 200, 10)
+	})
+	return testDet, testDS
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []Options{
+		{Approach: "banana"},
+		{Model: "no-such-model"},
+		{Approach: SFT, Model: "gpt2"},              // decoder under SFT
+		{Approach: ICL, Model: "bert-base-uncased"}, // encoder under ICL
+	}
+	for i, o := range cases {
+		if _, _, err := Train(o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTrainSFTEndToEnd(t *testing.T) {
+	det, ds := detector(t)
+	if det.Approach() != SFT {
+		t.Fatal("approach mismatch")
+	}
+	res := det.DetectJob(ds.Test[0])
+	if res.Label != 0 && res.Label != 1 {
+		t.Fatalf("label = %d", res.Label)
+	}
+	if res.Score < 0 || res.Score > 1 {
+		t.Fatalf("score = %v", res.Score)
+	}
+	if !strings.HasPrefix(res.String(), "label: LABEL_") {
+		t.Fatalf("result string = %q", res.String())
+	}
+}
+
+func TestTrainICLEndToEnd(t *testing.T) {
+	det, report, err := Train(Options{
+		Approach: ICL, Model: "gpt2",
+		TrainSize: 200, PretrainSteps: 100, Shots: 3, LoRASteps: 40, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Approach() != ICL {
+		t.Fatal("approach mismatch")
+	}
+	if report.Params == 0 || report.VocabSize == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	res := det.DetectSentence("runtime is 50.0")
+	if res.Label != 0 && res.Label != 1 {
+		t.Fatalf("label = %d", res.Label)
+	}
+}
+
+func TestDetectTraces(t *testing.T) {
+	det, ds := detector(t)
+	verdicts := DetectTraces(det, ds.Test, DefaultTracePolicy())
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts")
+	}
+	total := 0
+	for _, v := range verdicts {
+		total += v.Jobs
+		if v.Anomalous > v.Jobs {
+			t.Fatalf("verdict %+v inconsistent", v)
+		}
+		wantFlag := v.Anomalous >= 5 || v.Fraction() >= 0.10
+		if v.Flagged != wantFlag {
+			t.Fatalf("policy misapplied: %+v", v)
+		}
+	}
+	if total != len(ds.Test) {
+		t.Fatalf("verdicts cover %d jobs, want %d", total, len(ds.Test))
+	}
+}
+
+func TestMonitorStream(t *testing.T) {
+	det, ds := detector(t)
+	var buf bytes.Buffer
+	for _, j := range ds.Test[:40] {
+		buf.WriteString(logparse.LogLine(j))
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("\n") // blank lines are skipped
+	var alerts []Alert
+	processed, nAlerts, err := Monitor(det, &buf, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if processed != 40 {
+		t.Fatalf("processed %d, want 40", processed)
+	}
+	if nAlerts != len(alerts) {
+		t.Fatalf("alert count mismatch: %d vs %d", nAlerts, len(alerts))
+	}
+	for _, a := range alerts {
+		if !a.Result.Abnormal() {
+			t.Fatal("alert for normal result")
+		}
+	}
+}
+
+func TestMonitorParseError(t *testing.T) {
+	det, _ := detector(t)
+	r := strings.NewReader("not_a_log_line\n")
+	_, _, err := Monitor(det, r, nil)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerDetect(t *testing.T) {
+	det, ds := detector(t)
+	srv := httptest.NewServer(NewServer(det))
+	defer srv.Close()
+
+	body, _ := json.Marshal(DetectRequest{Sentence: logparse.Sentence(ds.Test[0])})
+	resp, err := http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out DetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Category != "normal" && out.Category != "abnormal" {
+		t.Fatalf("category = %q", out.Category)
+	}
+}
+
+func TestServerDetectLogLine(t *testing.T) {
+	det, ds := detector(t)
+	srv := httptest.NewServer(NewServer(det))
+	defer srv.Close()
+	body, _ := json.Marshal(DetectRequest{LogLine: logparse.LogLine(ds.Test[1])})
+	resp, err := http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerBatch(t *testing.T) {
+	det, ds := detector(t)
+	srv := httptest.NewServer(NewServer(det))
+	defer srv.Close()
+	req := BatchRequest{Sentences: []string{
+		logparse.Sentence(ds.Test[0]),
+		logparse.Sentence(ds.Test[1]),
+	}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/detect/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	det, _ := detector(t)
+	srv := httptest.NewServer(NewServer(det))
+	defer srv.Close()
+
+	// GET on detect: method not allowed.
+	resp, _ := http.Get(srv.URL + "/v1/detect")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Both fields set: bad request.
+	body, _ := json.Marshal(DetectRequest{Sentence: "a", LogLine: "wf=x"})
+	resp, _ = http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both-fields status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Neither field set.
+	resp, _ = http.Post(srv.URL+"/v1/detect", "application/json", strings.NewReader("{}"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed JSON.
+	resp, _ = http.Post(srv.URL+"/v1/detect", "application/json", strings.NewReader("{"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-json status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad log line.
+	body, _ = json.Marshal(DetectRequest{LogLine: "label=banana"})
+	resp, _ = http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-logline status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Health endpoint.
+	resp, _ = http.Get(srv.URL + "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,241 @@
+// Package core is the high-level public API of the library: a unified
+// anomaly-detector abstraction over the paper's two approaches (supervised
+// fine-tuning and in-context learning), a one-call training pipeline,
+// trace-level verdict aggregation, a streaming log monitor, and an HTTP
+// detection service for production deployment.
+//
+// The paper's pitch is that LLM-based detection lets system administrators
+// run anomaly detection without ML plumbing; this package is that interface:
+//
+//	det, _ := core.Train(core.Options{Workflow: flowbench.Genome})
+//	res := det.DetectSentence("wms_delay is 6.0 queue_delay is 22.0 ...")
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flowbench"
+	"repro/internal/icl"
+	"repro/internal/logparse"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/pretrain"
+	"repro/internal/prompt"
+	"repro/internal/sft"
+	"repro/internal/tokenizer"
+)
+
+// Approach selects the detection method.
+type Approach string
+
+// The two approaches from the paper.
+const (
+	SFT Approach = "sft" // fine-tuned encoder classifier
+	ICL Approach = "icl" // prompted decoder with few-shot examples
+)
+
+// Result is a single detection outcome.
+type Result struct {
+	// Label is 0 (normal) or 1 (abnormal).
+	Label int
+	// Score is the probability assigned to the abnormal class.
+	Score float64
+}
+
+// Abnormal reports whether the result flags an anomaly.
+func (r Result) Abnormal() bool { return r.Label == 1 }
+
+// String renders the result like the paper's online-detection figure.
+func (r Result) String() string {
+	return fmt.Sprintf("label: LABEL_%d, score: %.4f", r.Label, r.Score)
+}
+
+// Detector is the unified detection interface implemented by both
+// approaches.
+type Detector interface {
+	// DetectSentence classifies a parsed feature sentence (Fig 2 format).
+	DetectSentence(sentence string) Result
+	// DetectJob classifies a job record.
+	DetectJob(j flowbench.Job) Result
+	// Approach identifies the underlying method.
+	Approach() Approach
+}
+
+// sftDetector adapts an sft.Classifier.
+type sftDetector struct {
+	clf *sft.Classifier
+}
+
+// NewSFTDetector wraps a fine-tuned classifier as a Detector.
+func NewSFTDetector(clf *sft.Classifier) Detector { return &sftDetector{clf: clf} }
+
+func (d *sftDetector) DetectSentence(sentence string) Result {
+	label, probs := d.clf.Predict(sentence)
+	return Result{Label: label, Score: float64(probs[1])}
+}
+
+func (d *sftDetector) DetectJob(j flowbench.Job) Result {
+	return d.DetectSentence(logparse.Sentence(j))
+}
+
+func (d *sftDetector) Approach() Approach { return SFT }
+
+// iclDetector adapts an icl.Detector with a fixed few-shot context.
+type iclDetector struct {
+	det      *icl.Detector
+	examples []prompt.Example
+}
+
+// NewICLDetector wraps a prompted decoder as a Detector with the given
+// in-context examples.
+func NewICLDetector(det *icl.Detector, examples []prompt.Example) Detector {
+	return &iclDetector{det: det, examples: examples}
+}
+
+func (d *iclDetector) DetectSentence(sentence string) Result {
+	label, probs := d.det.Classify(sentence, d.examples)
+	return Result{Label: label, Score: float64(probs[1])}
+}
+
+func (d *iclDetector) DetectJob(j flowbench.Job) Result {
+	return d.DetectSentence(logparse.Sentence(j))
+}
+
+func (d *iclDetector) Approach() Approach { return ICL }
+
+// Options configures the end-to-end Train pipeline.
+type Options struct {
+	// Approach selects SFT (default) or ICL.
+	Approach Approach
+	// Workflow supplies the training data (default 1000 Genome).
+	Workflow flowbench.Workflow
+	// Model is a registry name; empty selects bert-base-uncased (SFT) or
+	// mistral (ICL).
+	Model string
+	// TrainSize caps the training subsample (default 1000).
+	TrainSize int
+	// PretrainSteps is the MLM/CLM budget (default 400).
+	PretrainSteps int
+	// Epochs is the SFT budget (default 3); ICL uses 300 LoRA steps.
+	Epochs int
+	// Shots is the ICL few-shot example count (default 5).
+	Shots int
+	// LoRASteps is the ICL LoRA fine-tuning budget (default 300).
+	LoRASteps int
+	// Debias adds the empty-sentence augmentation (SFT only).
+	Debias bool
+	// Seed anchors all randomness (default 42).
+	Seed uint64
+}
+
+func (o *Options) fill() error {
+	if o.Approach == "" {
+		o.Approach = SFT
+	}
+	if o.Approach != SFT && o.Approach != ICL {
+		return fmt.Errorf("core: unknown approach %q", o.Approach)
+	}
+	if o.Workflow == "" {
+		o.Workflow = flowbench.Genome
+	}
+	if o.Model == "" {
+		if o.Approach == SFT {
+			o.Model = "bert-base-uncased"
+		} else {
+			o.Model = "mistral"
+		}
+	}
+	spec, ok := models.Get(o.Model)
+	if !ok {
+		return fmt.Errorf("core: unknown model %q", o.Model)
+	}
+	if o.Approach == SFT && spec.Kind != models.Encoder {
+		return fmt.Errorf("core: SFT requires an encoder model, %q is a decoder", o.Model)
+	}
+	if o.Approach == ICL && spec.Kind != models.Decoder {
+		return fmt.Errorf("core: ICL requires a decoder model, %q is an encoder", o.Model)
+	}
+	if o.TrainSize <= 0 {
+		o.TrainSize = 1000
+	}
+	if o.PretrainSteps <= 0 {
+		o.PretrainSteps = 400
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 3
+	}
+	if o.Shots <= 0 {
+		o.Shots = 5
+	}
+	if o.LoRASteps <= 0 {
+		o.LoRASteps = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return nil
+}
+
+// TrainReport summarizes a Train run.
+type TrainReport struct {
+	// Test is the held-out confusion matrix.
+	Test metrics.Confusion
+	// Params is the model's parameter count.
+	Params int
+	// VocabSize is the tokenizer vocabulary size.
+	VocabSize int
+}
+
+// Train runs the full pipeline for the chosen approach — dataset generation,
+// vocabulary construction, pre-training, and task adaptation — and returns a
+// ready Detector plus a training report.
+func Train(opts Options) (Detector, *TrainReport, error) {
+	if err := opts.fill(); err != nil {
+		return nil, nil, err
+	}
+	ds := flowbench.Generate(opts.Workflow, opts.Seed).
+		Subsample(opts.TrainSize, 200, 300, opts.Seed+1)
+	corpus := pretrain.BuildCorpus(pretrain.DefaultCorpus())
+	corpus = append(corpus, logparse.Corpus(ds.Train)...)
+	tok := tokenizer.Build(corpus)
+	spec := models.MustGet(opts.Model)
+	model := spec.Build(tok.VocabSize())
+	popts := pretrain.Options{Steps: opts.PretrainSteps, LR: 3e-3, Seed: opts.Seed}
+
+	var det Detector
+	switch opts.Approach {
+	case SFT:
+		pretrain.MLM(model, tok, corpus, popts)
+		clf := sft.NewClassifier(model, tok)
+		cfg := sft.DefaultTrainConfig()
+		cfg.Epochs = opts.Epochs
+		cfg.Seed = opts.Seed
+		if opts.Debias {
+			cfg.Augment = sft.DebiasAugmentation(40)
+		}
+		sft.Train(clf, sft.JobExamples(ds.Train), nil, cfg)
+		det = NewSFTDetector(clf)
+	case ICL:
+		pretrain.CLM(model, tok, corpus, popts)
+		d := icl.NewDetector(model, tok)
+		ftCfg := icl.DefaultFineTuneConfig()
+		ftCfg.Steps = opts.LoRASteps
+		ftCfg.Seed = opts.Seed
+		icl.FineTune(d, ds.Train, ftCfg)
+		exs := icl.PromptExamples(icl.SelectExamples(ds.Train, opts.Shots, icl.Mixed, opts.Seed))
+		det = NewICLDetector(d, exs)
+	}
+
+	labels := make([]int, len(ds.Test))
+	preds := make([]int, len(ds.Test))
+	for i, j := range ds.Test {
+		labels[i] = j.Label
+		preds[i] = det.DetectJob(j).Label
+	}
+	report := &TrainReport{
+		Test:      metrics.NewConfusion(labels, preds),
+		Params:    model.ParamCount(),
+		VocabSize: tok.VocabSize(),
+	}
+	return det, report, nil
+}

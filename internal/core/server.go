@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/logparse"
+)
+
+// DetectRequest is the body of POST /v1/detect. Exactly one of Sentence or
+// LogLine must be set.
+type DetectRequest struct {
+	// Sentence is a parsed feature sentence (Fig 2 format).
+	Sentence string `json:"sentence,omitempty"`
+	// LogLine is a raw key=value log entry to parse and classify.
+	LogLine string `json:"log_line,omitempty"`
+}
+
+// DetectResponse is the detection outcome.
+type DetectResponse struct {
+	Label    int     `json:"label"`
+	Category string  `json:"category"`
+	Score    float64 `json:"score"`
+}
+
+// BatchRequest is the body of POST /v1/detect/batch.
+type BatchRequest struct {
+	Sentences []string `json:"sentences"`
+}
+
+// BatchResponse holds per-sentence outcomes in input order.
+type BatchResponse struct {
+	Results []DetectResponse `json:"results"`
+}
+
+// Server exposes a Detector over HTTP:
+//
+//	POST /v1/detect        {"sentence": "..."} or {"log_line": "..."}
+//	POST /v1/detect/batch  {"sentences": ["...", ...]}
+//	GET  /healthz
+//
+// This is the deployment story the paper motivates: system administrators
+// point their workflow logs at a running service instead of standing up an
+// ML pipeline.
+type Server struct {
+	det Detector
+	mux *http.ServeMux
+}
+
+// NewServer wraps a detector in an HTTP handler.
+func NewServer(det Detector) *Server {
+	s := &Server{det: det, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/detect", s.handleDetect)
+	s.mux.HandleFunc("/v1/detect/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","approach":%q}`, s.det.Approach())
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req DetectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sentence := req.Sentence
+	if req.LogLine != "" {
+		if sentence != "" {
+			http.Error(w, "set exactly one of sentence or log_line", http.StatusBadRequest)
+			return
+		}
+		job, err := logparse.ParseLogLine(req.LogLine)
+		if err != nil {
+			http.Error(w, "bad log line: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sentence = logparse.Sentence(job)
+	}
+	if sentence == "" {
+		http.Error(w, "set exactly one of sentence or log_line", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, toResponse(s.det.DetectSentence(sentence)))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := BatchResponse{Results: make([]DetectResponse, len(req.Sentences))}
+	for i, sentence := range req.Sentences {
+		resp.Results[i] = toResponse(s.det.DetectSentence(sentence))
+	}
+	writeJSON(w, resp)
+}
+
+func toResponse(res Result) DetectResponse {
+	category := logparse.LabelNormal
+	if res.Abnormal() {
+		category = logparse.LabelAbnormal
+	}
+	return DetectResponse{Label: res.Label, Category: category, Score: res.Score}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

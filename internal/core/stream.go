@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+)
+
+// TracePolicy decides when a workflow execution as a whole is anomalous from
+// its per-job results.
+type TracePolicy struct {
+	// MinAnomalous is the minimum number of abnormal jobs to flag the trace.
+	MinAnomalous int
+	// MinFraction is the minimum abnormal fraction to flag the trace; the
+	// trace is flagged when either threshold is met.
+	MinFraction float64
+}
+
+// DefaultTracePolicy flags a trace when ≥5 jobs or ≥10% of its jobs are
+// abnormal — tuned to Flow-Bench's contiguous-segment injections.
+func DefaultTracePolicy() TracePolicy { return TracePolicy{MinAnomalous: 5, MinFraction: 0.10} }
+
+// TraceVerdict aggregates per-job detections for one execution.
+type TraceVerdict struct {
+	TraceID   int
+	Jobs      int
+	Anomalous int
+	Flagged   bool
+}
+
+// Fraction returns the abnormal share of the trace.
+func (v TraceVerdict) Fraction() float64 {
+	if v.Jobs == 0 {
+		return 0
+	}
+	return float64(v.Anomalous) / float64(v.Jobs)
+}
+
+// DetectTraces runs the detector over jobs grouped by trace and applies the
+// policy to each execution, returning verdicts ordered by trace id.
+func DetectTraces(d Detector, jobs []flowbench.Job, policy TracePolicy) []TraceVerdict {
+	byTrace := flowbench.TraceJobs(jobs)
+	ids := make([]int, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+	out := make([]TraceVerdict, 0, len(ids))
+	for _, id := range ids {
+		trace := byTrace[id]
+		v := TraceVerdict{TraceID: id, Jobs: len(trace)}
+		for _, j := range trace {
+			if d.DetectJob(j).Abnormal() {
+				v.Anomalous++
+			}
+		}
+		v.Flagged = v.Anomalous >= policy.MinAnomalous ||
+			(v.Jobs > 0 && v.Fraction() >= policy.MinFraction)
+		out = append(out, v)
+	}
+	return out
+}
+
+// Alert is one streaming detection event.
+type Alert struct {
+	// Line is the raw log line that triggered the alert.
+	Line string
+	// Job is the parsed record.
+	Job flowbench.Job
+	// Result is the detection outcome.
+	Result Result
+}
+
+// Monitor reads raw key=value log lines (logparse.LogLine format) from r,
+// classifies each, and invokes onAlert for every line detected as abnormal.
+// It returns the number of lines processed and the number of alerts; parse
+// errors abort with the offending line's number.
+//
+// This is the paper's real-time detection loop (Section IV-C) in library
+// form: the workflow management system appends to a log, Monitor tails it.
+func Monitor(d Detector, r io.Reader, onAlert func(Alert)) (processed, alerts int, err error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		job, perr := logparse.ParseLogLine(line)
+		if perr != nil {
+			return processed, alerts, fmt.Errorf("core: line %d: %w", lineNo, perr)
+		}
+		processed++
+		res := d.DetectJob(job)
+		if res.Abnormal() {
+			alerts++
+			if onAlert != nil {
+				onAlert(Alert{Line: line, Job: job, Result: res})
+			}
+		}
+	}
+	return processed, alerts, scanner.Err()
+}

@@ -1,0 +1,208 @@
+package flowbench
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// FeatureNames lists the nine log-derived job features in the sequential
+// order they become available during execution (the order Figures 7 and 8 of
+// the paper use for online/early detection).
+var FeatureNames = []string{
+	"wms_delay",
+	"queue_delay",
+	"runtime",
+	"post_script_delay",
+	"stage_in_delay",
+	"stage_out_delay",
+	"bytes_in",
+	"bytes_out",
+	"cpu_time",
+}
+
+// Feature indices into Job.Features.
+const (
+	FWMSDelay = iota
+	FQueueDelay
+	FRuntime
+	FPostScriptDelay
+	FStageInDelay
+	FStageOutDelay
+	FBytesIn
+	FBytesOut
+	FCPUTime
+	NumFeatures
+)
+
+// AnomalyClass identifies the injected anomaly template of a job.
+type AnomalyClass int
+
+// Anomaly classes: Flow-Bench's two main performance-degradation classes
+// (CPU core capping and HDD bandwidth throttling) with magnitude subclasses.
+const (
+	None  AnomalyClass = iota
+	CPU2               // 2 of the advertised cores usable
+	CPU3               // 3 usable
+	CPU4               // 4 usable
+	HDD5               // disk throttled to ~5 MB/s
+	HDD10              // disk throttled to ~10 MB/s
+)
+
+// AnomalyClasses lists the injectable (non-None) classes.
+var AnomalyClasses = []AnomalyClass{CPU2, CPU3, CPU4, HDD5, HDD10}
+
+// String names the anomaly class.
+func (a AnomalyClass) String() string {
+	switch a {
+	case None:
+		return "none"
+	case CPU2:
+		return "cpu_2"
+	case CPU3:
+		return "cpu_3"
+	case CPU4:
+		return "cpu_4"
+	case HDD5:
+		return "hdd_5"
+	case HDD10:
+		return "hdd_10"
+	}
+	return fmt.Sprintf("anomaly(%d)", int(a))
+}
+
+// IsCPU reports whether the class is a CPU-capping anomaly.
+func (a AnomalyClass) IsCPU() bool { return a == CPU2 || a == CPU3 || a == CPU4 }
+
+// IsHDD reports whether the class is a disk-throttling anomaly.
+func (a AnomalyClass) IsHDD() bool { return a == HDD5 || a == HDD10 }
+
+// Job is one task execution record parsed from workflow logs.
+type Job struct {
+	// Workflow the job belongs to.
+	Workflow Workflow
+	// TraceID identifies the workflow execution the job is part of.
+	TraceID int
+	// NodeIndex is the job's node in the workflow DAG.
+	NodeIndex int
+	// TaskType is the DAG node's executable category.
+	TaskType string
+	// Features holds the NumFeatures values in FeatureNames order.
+	Features [NumFeatures]float64
+	// Label is 1 for anomalous, 0 for normal.
+	Label int
+	// Anomaly is the injected template (None when Label == 0).
+	Anomaly AnomalyClass
+}
+
+// taskProfile holds the log-space baseline parameters of a task type's
+// feature distributions.
+type taskProfile struct {
+	runtimeMu, runtimeSigma float64 // lognormal runtime (seconds)
+	bytesInMu, bytesInSig   float64 // lognormal input volume (bytes)
+	bytesOutMu, bytesOutSig float64 // lognormal output volume (bytes)
+	cpuFrac                 float64 // mean cpu_time / runtime ratio
+}
+
+// profiles maps task types to baseline distributions. Magnitudes follow the
+// published Flow-Bench characterization: long compute-bound genome tasks,
+// many short I/O-heavy Montage tasks, medium ML-pipeline tasks.
+var profiles = map[string]taskProfile{
+	// 1000 Genome
+	"individuals":       {7.6, 0.25, 19.5, 0.3, 17.5, 0.3, 0.92},
+	"individuals_merge": {5.7, 0.25, 18.8, 0.3, 18.0, 0.3, 0.80},
+	"sifting":           {4.0, 0.3, 17.2, 0.3, 15.0, 0.3, 0.85},
+	"mutation_overlap":  {5.1, 0.3, 17.8, 0.3, 14.5, 0.3, 0.90},
+	"frequency":         {5.5, 0.3, 17.8, 0.3, 15.2, 0.3, 0.90},
+	"summary":           {3.5, 0.3, 15.0, 0.3, 13.0, 0.3, 0.70},
+	// Montage
+	"mProject":    {4.6, 0.3, 18.9, 0.3, 18.6, 0.3, 0.85},
+	"mDiffFit":    {2.3, 0.35, 15.8, 0.3, 13.5, 0.3, 0.75},
+	"mConcatFit":  {3.9, 0.3, 16.2, 0.3, 14.0, 0.3, 0.70},
+	"mBackground": {2.7, 0.3, 16.8, 0.3, 16.8, 0.3, 0.78},
+	"mImgtbl":     {3.0, 0.3, 17.5, 0.3, 14.0, 0.3, 0.65},
+	"mAdd":        {5.0, 0.3, 18.5, 0.3, 18.6, 0.3, 0.72},
+	"mShrink":     {2.5, 0.3, 17.0, 0.3, 15.5, 0.3, 0.70},
+	"mJPEG":       {2.2, 0.3, 16.0, 0.3, 15.8, 0.3, 0.80},
+	// Predict Future Sales
+	"ingest":      {4.2, 0.3, 18.5, 0.3, 18.3, 0.3, 0.55},
+	"preprocess":  {5.0, 0.3, 18.0, 0.3, 17.6, 0.3, 0.82},
+	"feature_eng": {5.6, 0.3, 17.6, 0.3, 17.0, 0.3, 0.88},
+	"train_model": {6.8, 0.3, 16.8, 0.3, 15.2, 0.3, 0.95},
+	"validate":    {4.6, 0.3, 15.8, 0.3, 13.8, 0.3, 0.85},
+	"predict":     {4.3, 0.3, 16.5, 0.3, 16.0, 0.3, 0.85},
+	"aggregate":   {3.6, 0.3, 17.0, 0.3, 16.5, 0.3, 0.60},
+}
+
+// diskRate is the nominal healthy disk bandwidth in bytes/second used to
+// derive stage-in/out delays from transfer volumes.
+const diskRate = 120e6
+
+// sampleBaseline draws a normal (non-anomalous) feature vector for the task
+// type.
+func sampleBaseline(taskType string, rng *tensor.RNG) [NumFeatures]float64 {
+	p, ok := profiles[taskType]
+	if !ok {
+		panic(fmt.Sprintf("flowbench: no profile for task type %q", taskType))
+	}
+	var f [NumFeatures]float64
+	f[FWMSDelay] = rng.LogNormal(1.7, 0.4)   // ~5.5 s
+	f[FQueueDelay] = rng.LogNormal(3.0, 0.5) // ~20 s
+	f[FRuntime] = rng.LogNormal(p.runtimeMu, p.runtimeSigma)
+	f[FPostScriptDelay] = rng.LogNormal(1.6, 0.3) // ~5 s
+	f[FBytesIn] = rng.LogNormal(p.bytesInMu, p.bytesInSig)
+	f[FBytesOut] = rng.LogNormal(p.bytesOutMu, p.bytesOutSig)
+	f[FStageInDelay] = f[FBytesIn]/diskRate + rng.LogNormal(0.0, 0.3)
+	f[FStageOutDelay] = f[FBytesOut]/diskRate + rng.LogNormal(-0.3, 0.3)
+	f[FCPUTime] = f[FRuntime] * clamp(p.cpuFrac+0.03*rng.NormFloat64(), 0.05, 1)
+	return f
+}
+
+// applyAnomaly distorts a baseline feature vector in place according to the
+// anomaly template, reproducing Flow-Bench's injection semantics:
+//
+//   - CPU-K: the worker advertises a fixed core count but only K cores can
+//     process, so wall-clock runtime inflates by the contention factor while
+//     useful cpu_time stays roughly flat — the cpu_time/runtime ratio drops.
+//   - HDD-K: read/write bandwidth is capped near K MB/s, so stage-in/out
+//     delays inflate proportionally to transfer volume, with a small
+//     knock-on runtime increase from I/O waits.
+func applyAnomaly(f *[NumFeatures]float64, a AnomalyClass, rng *tensor.RNG) {
+	jitter := func(base float64) float64 { return base * (1 + 0.08*rng.NormFloat64()) }
+	switch a {
+	case CPU2:
+		factor := jitter(3.2)
+		f[FRuntime] *= factor
+		f[FCPUTime] *= jitter(1.05)
+	case CPU3:
+		factor := jitter(2.1)
+		f[FRuntime] *= factor
+		f[FCPUTime] *= jitter(1.04)
+	case CPU4:
+		factor := jitter(1.6)
+		f[FRuntime] *= factor
+		f[FCPUTime] *= jitter(1.03)
+	case HDD5:
+		cap5 := 5e6
+		f[FStageInDelay] = f[FBytesIn]/cap5 + rng.LogNormal(0.0, 0.3)
+		f[FStageOutDelay] = f[FBytesOut]/cap5 + rng.LogNormal(-0.3, 0.3)
+		f[FRuntime] *= jitter(1.15)
+	case HDD10:
+		cap10 := 10e6
+		f[FStageInDelay] = f[FBytesIn]/cap10 + rng.LogNormal(0.0, 0.3)
+		f[FStageOutDelay] = f[FBytesOut]/cap10 + rng.LogNormal(-0.3, 0.3)
+		f[FRuntime] *= jitter(1.08)
+	default:
+		panic(fmt.Sprintf("flowbench: applyAnomaly on %v", a))
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

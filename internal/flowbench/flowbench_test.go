@@ -1,0 +1,317 @@
+package flowbench
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestDAGCountsMatchPaper(t *testing.T) {
+	want := map[Workflow][2]int{
+		Genome:  {137, 289},
+		Montage: {539, 2838},
+		Sales:   {165, 581},
+	}
+	for wf, w := range want {
+		d := BuildDAG(wf)
+		if d.NumNodes() != w[0] || d.NumEdges() != w[1] {
+			t.Errorf("%s DAG = %d nodes / %d edges, want %d/%d",
+				wf, d.NumNodes(), d.NumEdges(), w[0], w[1])
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", wf, err)
+		}
+	}
+}
+
+func TestDAGDeterministic(t *testing.T) {
+	d1 := BuildDAG(Genome)
+	d2 := BuildDAG(Genome)
+	if d1.NumEdges() != d2.NumEdges() {
+		t.Fatal("DAG construction not deterministic")
+	}
+	for i := range d1.Edges {
+		if d1.Edges[i] != d2.Edges[i] {
+			t.Fatal("DAG edges not deterministic")
+		}
+	}
+}
+
+func TestDAGAdjacency(t *testing.T) {
+	d := BuildDAG(Genome)
+	children := d.Children()
+	parents := d.Parents()
+	nc, np := 0, 0
+	for i := range d.Nodes {
+		nc += len(children[i])
+		np += len(parents[i])
+	}
+	if nc != d.NumEdges() || np != d.NumEdges() {
+		t.Fatalf("adjacency edge totals %d/%d, want %d", nc, np, d.NumEdges())
+	}
+}
+
+func TestBuildDAGUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown workflow")
+		}
+	}()
+	BuildDAG(Workflow("bogus"))
+}
+
+func TestBaselineFeaturesPositive(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for taskType := range profiles {
+		f := sampleBaseline(taskType, rng)
+		for i, v := range f {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s feature %s = %v", taskType, FeatureNames[i], v)
+			}
+		}
+		if f[FCPUTime] > f[FRuntime]*1.001 {
+			t.Fatalf("%s cpu_time %v exceeds runtime %v", taskType, f[FCPUTime], f[FRuntime])
+		}
+	}
+}
+
+func TestCPUAnomalyInflatesRuntimeNotCPUTime(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	const trials = 200
+	var baseRT, anomRT, baseRatio, anomRatio float64
+	for i := 0; i < trials; i++ {
+		f := sampleBaseline("individuals", rng)
+		baseRT += f[FRuntime]
+		baseRatio += f[FCPUTime] / f[FRuntime]
+		g := f
+		applyAnomaly(&g, CPU2, rng)
+		anomRT += g[FRuntime]
+		anomRatio += g[FCPUTime] / g[FRuntime]
+	}
+	if anomRT < 2*baseRT {
+		t.Fatalf("CPU2 runtime inflation %v, want ≥2x", anomRT/baseRT)
+	}
+	if anomRatio >= baseRatio {
+		t.Fatal("CPU anomaly must depress the cpu_time/runtime ratio")
+	}
+}
+
+func TestCPUAnomalyMagnitudeOrdering(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	mean := func(class AnomalyClass) float64 {
+		var s float64
+		for i := 0; i < 300; i++ {
+			f := sampleBaseline("individuals", rng)
+			applyAnomaly(&f, class, rng)
+			s += f[FRuntime]
+		}
+		return s / 300
+	}
+	m2, m3, m4 := mean(CPU2), mean(CPU3), mean(CPU4)
+	if !(m2 > m3 && m3 > m4) {
+		t.Fatalf("CPU slowdown not ordered: cpu2=%v cpu3=%v cpu4=%v", m2, m3, m4)
+	}
+}
+
+func TestHDDAnomalyInflatesStageDelays(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	var baseIn, anomIn5, anomIn10 float64
+	for i := 0; i < 200; i++ {
+		f := sampleBaseline("mProject", rng)
+		baseIn += f[FStageInDelay]
+		g5, g10 := f, f
+		applyAnomaly(&g5, HDD5, rng)
+		applyAnomaly(&g10, HDD10, rng)
+		anomIn5 += g5[FStageInDelay]
+		anomIn10 += g10[FStageInDelay]
+	}
+	if anomIn5 < 3*baseIn {
+		t.Fatalf("HDD5 stage-in inflation %v, want large", anomIn5/baseIn)
+	}
+	if anomIn5 <= anomIn10 {
+		t.Fatal("HDD5 (tighter cap) must be slower than HDD10")
+	}
+}
+
+func TestAnomalyClassPredicates(t *testing.T) {
+	for _, a := range []AnomalyClass{CPU2, CPU3, CPU4} {
+		if !a.IsCPU() || a.IsHDD() {
+			t.Fatalf("%v predicates wrong", a)
+		}
+	}
+	for _, a := range []AnomalyClass{HDD5, HDD10} {
+		if !a.IsHDD() || a.IsCPU() {
+			t.Fatalf("%v predicates wrong", a)
+		}
+	}
+	if None.IsCPU() || None.IsHDD() {
+		t.Fatal("None predicates wrong")
+	}
+	if None.String() != "none" || CPU2.String() != "cpu_2" {
+		t.Fatal("anomaly names wrong")
+	}
+}
+
+func TestGenerateMatchesTableI(t *testing.T) {
+	for _, wf := range Workflows {
+		ds := Generate(wf, 42)
+		spec := TableICounts(wf)
+		stats := ds.Stats()
+		for s := range spec {
+			if stats[s].Normal != spec[s][0] || stats[s].Anomalous != spec[s][1] {
+				t.Errorf("%s %s = %d/%d normal/anom, want %d/%d",
+					wf, stats[s].Split, stats[s].Normal, stats[s].Anomalous, spec[s][0], spec[s][1])
+			}
+		}
+	}
+}
+
+func TestGenerateTraceCountTotals1211(t *testing.T) {
+	total := 0
+	for _, wf := range Workflows {
+		total += TraceTarget(wf)
+	}
+	if total != 1211 {
+		t.Fatalf("total traces = %d, want 1211 (Flow-Bench)", total)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Genome, 7)
+	b := Generate(Genome, 7)
+	for i := range a.Train[:100] {
+		if a.Train[i].Features != b.Train[i].Features || a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := Generate(Genome, 8)
+	same := true
+	for i := range a.Train[:100] {
+		if a.Train[i].Features != c.Train[i].Features {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGeneratedJobsConsistent(t *testing.T) {
+	ds := Generate(Genome, 1)
+	for _, j := range ds.Train[:1000] {
+		if j.Label == 0 && j.Anomaly != None {
+			t.Fatal("normal job carries anomaly class")
+		}
+		if j.Label == 1 && j.Anomaly == None {
+			t.Fatal("anomalous job missing anomaly class")
+		}
+		if j.NodeIndex < 0 || j.NodeIndex >= ds.DAG.NumNodes() {
+			t.Fatal("node index out of range")
+		}
+		if j.TaskType != ds.DAG.Nodes[j.NodeIndex].TaskType {
+			t.Fatal("task type mismatch with DAG node")
+		}
+	}
+}
+
+func TestAnomaliesAreContiguousPerTrace(t *testing.T) {
+	ds := Generate(Genome, 3)
+	all := append(append(append([]Job{}, ds.Train...), ds.Val...), ds.Test...)
+	traces := TraceJobs(all)
+	if len(traces) != TraceTarget(Genome) {
+		t.Fatalf("trace count = %d, want %d", len(traces), TraceTarget(Genome))
+	}
+	for id, trace := range traces {
+		if len(trace) != ds.DAG.NumNodes() {
+			t.Fatalf("trace %d has %d jobs, want %d", id, len(trace), ds.DAG.NumNodes())
+		}
+		// Single contiguous anomalous segment (or none), one class per trace.
+		segStarts := 0
+		var class AnomalyClass
+		for i, j := range trace {
+			if j.Label == 1 {
+				if class == None {
+					class = j.Anomaly
+				} else if j.Anomaly != class {
+					t.Fatalf("trace %d mixes anomaly classes", id)
+				}
+				if i == 0 || trace[i-1].Label == 0 {
+					segStarts++
+				}
+			}
+		}
+		if segStarts > 1 {
+			t.Fatalf("trace %d has %d anomaly segments, want ≤1", id, segStarts)
+		}
+	}
+}
+
+func TestSubsampleStratified(t *testing.T) {
+	ds := Generate(Genome, 5)
+	sub := ds.Subsample(1000, 200, 200, 9)
+	if len(sub.Train) != 1000 || len(sub.Val) != 200 || len(sub.Test) != 200 {
+		t.Fatalf("subsample sizes %d/%d/%d", len(sub.Train), len(sub.Val), len(sub.Test))
+	}
+	fullFrac := ds.Stats()[0].Fraction()
+	subFrac := sub.Stats()[0].Fraction()
+	if math.Abs(fullFrac-subFrac) > 0.02 {
+		t.Fatalf("subsample anomaly fraction %v, want ≈%v", subFrac, fullFrac)
+	}
+	// Requesting more than available returns everything.
+	tiny := ds.Subsample(1, 1, 1, 9)
+	big := tiny.Subsample(100, 100, 100, 9)
+	if len(big.Train) != 1 {
+		t.Fatal("oversized subsample must clamp")
+	}
+}
+
+func TestSplitAccessor(t *testing.T) {
+	ds := Generate(Genome, 6).Subsample(10, 10, 10, 1)
+	if len(ds.Split("train")) != 10 || len(ds.Split("validation")) != 10 || len(ds.Split("test")) != 10 {
+		t.Fatal("Split accessor returned wrong parts")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown split")
+		}
+	}()
+	ds.Split("bogus")
+}
+
+func TestAnomalyFractionsMatchPaper(t *testing.T) {
+	// The paper reports ~0.33 / ~0.20 / ~0.19 anomaly rates.
+	want := map[Workflow]float64{Genome: 0.326, Montage: 0.204, Sales: 0.186}
+	for wf, w := range want {
+		ds := Generate(wf, 11)
+		got := ds.Stats()[0].Fraction()
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("%s train anomaly fraction %v, want ≈%v", wf, got, w)
+		}
+	}
+}
+
+// Property: allocateAnomalies always hits the exact total and never exceeds
+// per-trace capacity.
+func TestAllocateAnomaliesExactProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		traces := 5 + rng.Intn(50)
+		nodes := 10 + rng.Intn(100)
+		target := rng.Intn(traces * nodes / 2)
+		counts := allocateAnomalies(traces, nodes, target, rng)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 || c > nodes {
+				return false
+			}
+			sum += c
+		}
+		return sum == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

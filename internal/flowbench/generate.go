@@ -1,0 +1,314 @@
+package flowbench
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// tableI is the per-split (train, validation, test) × (normal, anomalous)
+// job-count specification from Table I of the paper. The generator produces
+// datasets matching these counts exactly.
+var tableI = map[Workflow][3][2]int{
+	Genome:  {{25911, 12558}, {3258, 1551}, {3229, 1580}},
+	Montage: {{109738, 28246}, {13735, 3513}, {13756, 3492}},
+	Sales:   {{58043, 13237}, {7250, 1660}, {7316, 1594}},
+}
+
+// SplitNames labels the three splits in Table I order.
+var SplitNames = []string{"train", "validation", "test"}
+
+// Dataset is a generated Flow-Bench-style dataset for one workflow.
+type Dataset struct {
+	Workflow Workflow
+	DAG      *DAG
+	Train    []Job
+	Val      []Job
+	Test     []Job
+}
+
+// Split returns the named split ("train", "validation", "test").
+func (ds *Dataset) Split(name string) []Job {
+	switch name {
+	case "train":
+		return ds.Train
+	case "validation":
+		return ds.Val
+	case "test":
+		return ds.Test
+	}
+	panic(fmt.Sprintf("flowbench: unknown split %q", name))
+}
+
+// NumTraces returns the number of workflow executions in the full dataset.
+func (ds *Dataset) NumTraces() int {
+	n := ds.DAG.NumNodes()
+	return (len(ds.Train) + len(ds.Val) + len(ds.Test)) / n
+}
+
+// TableICounts returns the paper's Table I specification for wf as
+// [split][normal, anomalous].
+func TableICounts(wf Workflow) [3][2]int { return tableI[wf] }
+
+// TraceTarget returns the number of traces Generate produces for wf; summed
+// over the three workflows this is Flow-Bench's 1211 execution traces.
+func TraceTarget(wf Workflow) int {
+	spec := tableI[wf]
+	total := 0
+	for _, s := range spec {
+		total += s[0] + s[1]
+	}
+	return total / BuildDAG(wf).NumNodes()
+}
+
+// Generate produces the full dataset for a workflow: TraceTarget(wf)
+// execution traces over the workflow DAG with CPU/HDD anomalies injected at
+// various points, split so each split's normal/anomalous counts equal Table
+// I exactly. Generation is deterministic in seed.
+func Generate(wf Workflow, seed uint64) *Dataset {
+	d := BuildDAG(wf)
+	spec, ok := tableI[wf]
+	if !ok {
+		panic(fmt.Sprintf("flowbench: unknown workflow %q", wf))
+	}
+	n := d.NumNodes()
+	totalJobs, totalAnom := 0, 0
+	for _, s := range spec {
+		totalJobs += s[0] + s[1]
+		totalAnom += s[1]
+	}
+	if totalJobs%n != 0 {
+		panic(fmt.Sprintf("flowbench: %s total jobs %d not divisible by %d nodes", wf, totalJobs, n))
+	}
+	traces := totalJobs / n
+
+	rng := tensor.NewRNG(seed ^ uint64(len(wf))<<32)
+	counts := allocateAnomalies(traces, n, totalAnom, rng)
+
+	jobs := make([]Job, 0, totalJobs)
+	for t := 0; t < traces; t++ {
+		jobs = append(jobs, generateTrace(d, t, counts[t], rng)...)
+	}
+
+	return split(wf, d, jobs, spec, rng)
+}
+
+// allocateAnomalies distributes totalAnom anomalous jobs over traces: about
+// 70% of traces are anomaly candidates with sizes drawn uniformly, then
+// counts are nudged round-robin until the total is exact.
+func allocateAnomalies(traces, nodes, totalAnom int, rng *tensor.RNG) []int {
+	counts := make([]int, traces)
+	candidates := (traces*7 + 9) / 10
+	order := rng.Perm(traces)
+	sum := 0
+	for i := 0; i < candidates; i++ {
+		lo, hi := nodes/10, nodes*6/10
+		c := lo + rng.Intn(hi-lo+1)
+		counts[order[i]] = c
+		sum += c
+	}
+	// Nudge to exact total.
+	for i := 0; sum != totalAnom; i = (i + 1) % candidates {
+		t := order[i]
+		if sum < totalAnom && counts[t] < nodes {
+			counts[t]++
+			sum++
+		} else if sum > totalAnom && counts[t] > 0 {
+			counts[t]--
+			sum--
+		}
+	}
+	return counts
+}
+
+// generateTrace produces the jobs of one workflow execution, injecting
+// anomCount anomalous nodes as a contiguous topological segment starting at
+// a random point (matching Flow-Bench's "injected at various points").
+func generateTrace(d *DAG, traceID, anomCount int, rng *tensor.RNG) []Job {
+	n := d.NumNodes()
+	anomalous := make([]bool, n)
+	var class AnomalyClass = None
+	if anomCount > 0 {
+		class = AnomalyClasses[rng.Intn(len(AnomalyClasses))]
+		start := 0
+		if anomCount < n {
+			start = rng.Intn(n - anomCount + 1)
+		}
+		for i := start; i < start+anomCount; i++ {
+			anomalous[i] = true
+		}
+	}
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		node := d.Nodes[i]
+		f := sampleBaseline(node.TaskType, rng)
+		j := Job{
+			Workflow:  d.Workflow,
+			TraceID:   traceID,
+			NodeIndex: i,
+			TaskType:  node.TaskType,
+			Features:  f,
+		}
+		if anomalous[i] {
+			applyAnomaly(&j.Features, class, rng)
+			j.Label = 1
+			j.Anomaly = class
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// split partitions jobs into train/val/test with the exact per-split
+// normal/anomalous counts of spec, shuffling within each stratum.
+func split(wf Workflow, d *DAG, jobs []Job, spec [3][2]int, rng *tensor.RNG) *Dataset {
+	var normal, anom []Job
+	for _, j := range jobs {
+		if j.Label == 0 {
+			normal = append(normal, j)
+		} else {
+			anom = append(anom, j)
+		}
+	}
+	shuffleJobs(normal, rng)
+	shuffleJobs(anom, rng)
+	wantNormal := spec[0][0] + spec[1][0] + spec[2][0]
+	wantAnom := spec[0][1] + spec[1][1] + spec[2][1]
+	if len(normal) != wantNormal || len(anom) != wantAnom {
+		panic(fmt.Sprintf("flowbench: %s generated %d/%d normal/anomalous, want %d/%d",
+			wf, len(normal), len(anom), wantNormal, wantAnom))
+	}
+	ds := &Dataset{Workflow: wf, DAG: d}
+	ni, ai := 0, 0
+	for s, counts := range spec {
+		part := make([]Job, 0, counts[0]+counts[1])
+		part = append(part, normal[ni:ni+counts[0]]...)
+		part = append(part, anom[ai:ai+counts[1]]...)
+		ni += counts[0]
+		ai += counts[1]
+		shuffleJobs(part, rng)
+		switch s {
+		case 0:
+			ds.Train = part
+		case 1:
+			ds.Val = part
+		case 2:
+			ds.Test = part
+		}
+	}
+	return ds
+}
+
+func shuffleJobs(jobs []Job, rng *tensor.RNG) {
+	for i := len(jobs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		jobs[i], jobs[j] = jobs[j], jobs[i]
+	}
+}
+
+// GenerateAll generates all three workflow datasets with seeds derived from
+// seed.
+func GenerateAll(seed uint64) map[Workflow]*Dataset {
+	out := make(map[Workflow]*Dataset, len(Workflows))
+	for i, wf := range Workflows {
+		out[wf] = Generate(wf, seed+uint64(i)*0x1000)
+	}
+	return out
+}
+
+// Subsample returns a smaller dataset with stratified (label-preserving)
+// random subsets of each split — the working scale for CPU-bound training
+// experiments. Requested sizes are clamped to the available split sizes.
+func (ds *Dataset) Subsample(nTrain, nVal, nTest int, seed uint64) *Dataset {
+	rng := tensor.NewRNG(seed)
+	out := &Dataset{Workflow: ds.Workflow, DAG: ds.DAG}
+	out.Train = stratifiedSample(ds.Train, nTrain, rng)
+	out.Val = stratifiedSample(ds.Val, nVal, rng)
+	out.Test = stratifiedSample(ds.Test, nTest, rng)
+	return out
+}
+
+func stratifiedSample(jobs []Job, n int, rng *tensor.RNG) []Job {
+	if n >= len(jobs) {
+		out := make([]Job, len(jobs))
+		copy(out, jobs)
+		return out
+	}
+	var normal, anom []Job
+	for _, j := range jobs {
+		if j.Label == 0 {
+			normal = append(normal, j)
+		} else {
+			anom = append(anom, j)
+		}
+	}
+	frac := float64(len(anom)) / float64(len(jobs))
+	nAnom := int(frac*float64(n) + 0.5)
+	if nAnom > len(anom) {
+		nAnom = len(anom)
+	}
+	nNormal := n - nAnom
+	if nNormal > len(normal) {
+		nNormal = len(normal)
+	}
+	shuffleJobs(normal, rng)
+	shuffleJobs(anom, rng)
+	out := make([]Job, 0, nNormal+nAnom)
+	out = append(out, normal[:nNormal]...)
+	out = append(out, anom[:nAnom]...)
+	shuffleJobs(out, rng)
+	return out
+}
+
+// SplitStats summarizes one split for Table I.
+type SplitStats struct {
+	Split     string
+	Normal    int
+	Anomalous int
+}
+
+// Fraction returns the anomaly rate of the split.
+func (s SplitStats) Fraction() float64 {
+	t := s.Normal + s.Anomalous
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Anomalous) / float64(t)
+}
+
+// Stats returns per-split statistics in Table I order.
+func (ds *Dataset) Stats() [3]SplitStats {
+	count := func(name string, jobs []Job) SplitStats {
+		st := SplitStats{Split: name}
+		for _, j := range jobs {
+			if j.Label == 0 {
+				st.Normal++
+			} else {
+				st.Anomalous++
+			}
+		}
+		return st
+	}
+	return [3]SplitStats{
+		count("train", ds.Train),
+		count("validation", ds.Val),
+		count("test", ds.Test),
+	}
+}
+
+// TraceJobs groups a job slice by trace, returning jobs ordered by node
+// index within each trace (for graph-based baselines and online detection).
+func TraceJobs(jobs []Job) map[int][]Job {
+	out := make(map[int][]Job)
+	for _, j := range jobs {
+		out[j.TraceID] = append(out[j.TraceID], j)
+	}
+	for _, trace := range out {
+		for i := 1; i < len(trace); i++ {
+			for k := i; k > 0 && trace[k].NodeIndex < trace[k-1].NodeIndex; k-- {
+				trace[k], trace[k-1] = trace[k-1], trace[k]
+			}
+		}
+	}
+	return out
+}

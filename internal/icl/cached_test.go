@@ -1,0 +1,62 @@
+package icl
+
+import (
+	"testing"
+
+	"repro/internal/prompt"
+)
+
+func TestPromptPrefixSuffixRecomposition(t *testing.T) {
+	exs := []prompt.Example{
+		{Sentence: "runtime is 5.0", Label: "normal"},
+		{Sentence: "runtime is 900.0", Label: "abnormal"},
+	}
+	q := "runtime is 7.0"
+	recomposed := prompt.FewShotPrefix(exs) + " " + prompt.QuerySuffix(q)
+	if recomposed != prompt.FewShot(exs, q) {
+		t.Fatalf("prefix+suffix != full prompt:\n%q\n%q", recomposed, prompt.FewShot(exs, q))
+	}
+	// Zero-shot too.
+	recomposed = prompt.FewShotPrefix(nil) + " " + prompt.QuerySuffix(q)
+	if recomposed != prompt.FewShot(nil, q) {
+		t.Fatal("zero-shot prefix+suffix != full prompt")
+	}
+}
+
+// TestEvaluateCachedMatchesUncached is the end-to-end equivalence check:
+// the cached evaluation path must produce exactly the predictions of the
+// uncached path.
+func TestEvaluateCachedMatchesUncached(t *testing.T) {
+	d, ds := testDetector(t)
+	exs := PromptExamples(SelectExamples(ds.Train, 4, Mixed, 3))
+	jobs := ds.Test[:25]
+	want := Evaluate(d, jobs, exs)
+	got := EvaluateCached(d, jobs, exs)
+	if want != got {
+		t.Fatalf("cached confusion %+v != uncached %+v", got, want)
+	}
+}
+
+func TestAnomalyScoresCachedMatchesUncached(t *testing.T) {
+	d, ds := testDetector(t)
+	exs := PromptExamples(SelectExamples(ds.Train, 4, Mixed, 3))
+	jobs := ds.Test[:15]
+	_, want := AnomalyScores(d, jobs, exs)
+	_, got := AnomalyScoresCached(d, jobs, exs)
+	for i := range want {
+		diff := want[i] - got[i]
+		if diff < -1e-4 || diff > 1e-4 {
+			t.Fatalf("score[%d]: cached %v vs uncached %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvaluateCachedZeroShot(t *testing.T) {
+	d, ds := testDetector(t)
+	jobs := ds.Test[:10]
+	want := Evaluate(d, jobs, nil)
+	got := EvaluateCached(d, jobs, nil)
+	if want != got {
+		t.Fatalf("zero-shot cached %+v != uncached %+v", got, want)
+	}
+}

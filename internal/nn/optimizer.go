@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every non-frozen parameter and zeroes all
+	// gradients (including those of frozen parameters).
+	Step(params []*Param)
+	// SetLR changes the learning rate used by subsequent steps.
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	lr       float64
+	Momentum float64
+
+	velocity map[*Param]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum
+// (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step applies v = μv - lr·g; w += v (or plain w -= lr·g when μ=0).
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		if s.Momentum == 0 {
+			tensor.AddScaled(p.W, p.Grad, float32(-s.lr))
+		} else {
+			v := s.velocity[p]
+			if v == nil {
+				v = tensor.New(p.W.Rows, p.W.Cols)
+				s.velocity[p] = v
+			}
+			mu := float32(s.Momentum)
+			lr := float32(s.lr)
+			for i := range v.Data {
+				v.Data[i] = mu*v.Data[i] - lr*p.Grad.Data[i]
+				p.W.Data[i] += v.Data[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR reports the current learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// AdamW is Adam with decoupled weight decay (Loshchilov & Hutter), the
+// optimizer used for all transformer fine-tuning in this repository.
+type AdamW struct {
+	lr          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdamW returns an AdamW optimizer with standard betas (0.9, 0.999).
+func NewAdamW(lr, weightDecay float64) *AdamW {
+	return &AdamW{
+		lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*Param]*tensor.Matrix), v: make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// Step applies one AdamW update with bias correction.
+func (a *AdamW) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		m := a.m[p]
+		if m == nil {
+			m = tensor.New(p.W.Rows, p.W.Cols)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Rows, p.W.Cols)
+		}
+		v := a.v[p]
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		lr := float32(a.lr)
+		wd := float32(a.WeightDecay)
+		eps := float32(a.Eps)
+		ibc1, ibc2 := float32(1/bc1), float32(1/bc2)
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			mhat := m.Data[i] * ibc1
+			vhat := v.Data[i] * ibc2
+			p.W.Data[i] -= lr * (mhat/(float32(math.Sqrt(float64(vhat)))+eps) + wd*p.W.Data[i])
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (a *AdamW) SetLR(lr float64) { a.lr = lr }
+
+// LR reports the current learning rate.
+func (a *AdamW) LR() float64 { return a.lr }
+
+// ClipGradNorm rescales all non-frozen gradients so their global L2 norm is
+// at most maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := float32(maxNorm / norm)
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+	return norm
+}
+
+// LinearWarmupSchedule returns the learning rate for a given step under
+// linear warmup followed by linear decay to zero at totalSteps — the standard
+// HuggingFace fine-tuning schedule.
+func LinearWarmupSchedule(base float64, step, warmup, totalSteps int) float64 {
+	if step < warmup && warmup > 0 {
+		return base * float64(step+1) / float64(warmup)
+	}
+	if totalSteps <= warmup {
+		return base
+	}
+	frac := float64(totalSteps-step) / float64(totalSteps-warmup)
+	if frac < 0 {
+		frac = 0
+	}
+	return base * frac
+}
+
+// CosineSchedule returns the learning rate for a given step under cosine
+// annealing from base to 0 over totalSteps.
+func CosineSchedule(base float64, step, totalSteps int) float64 {
+	if totalSteps <= 0 || step >= totalSteps {
+		return 0
+	}
+	return base * 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(totalSteps)))
+}

@@ -1,0 +1,93 @@
+// Package prompt renders the in-context-learning prompt templates of
+// Figure 3: a task description, optional few-shot examples, and the query
+// job, ending with "category :" so a decoder's next token is the predicted
+// label. The same templates are used to build the decoders' pre-training
+// corpus, so prompt structure is in-distribution at inference time.
+package prompt
+
+import (
+	"strings"
+
+	"repro/internal/flowbench"
+)
+
+// Example is one in-context demonstration.
+type Example struct {
+	// Sentence is the job's feature sentence (logparse.Sentence).
+	Sentence string
+	// Label is the demonstrated category word ("normal"/"abnormal").
+	Label string
+}
+
+// TaskDescription returns the Figure 3 system-prompt text (lower-cased to
+// match the tokenizer's normalization).
+func TaskDescription() string {
+	return "you are a system administration bot . your task is to assess a job description " +
+		"with a couple of features into one of the following categories : normal abnormal . " +
+		"you will only respond with the category . do not include the word category . " +
+		"do not provide explanations or notes . a single job includes " +
+		strings.Join(flowbench.FeatureNames, " ")
+}
+
+// CoTSuffix is appended to elicit chain-of-thought reasoning (Figure 13):
+// the "respond with the category only" instruction is replaced by a
+// step-by-step request.
+const CoTSuffix = "please think about it step by step ."
+
+// FewShot renders a complete ICL prompt: the task description, the examples
+// under an "### example ###" header, and the query, ending with "category :".
+// With no examples this is the zero-shot prompt.
+func FewShot(examples []Example, query string) string {
+	var sb strings.Builder
+	sb.WriteString(TaskDescription())
+	if len(examples) > 0 {
+		sb.WriteString(" ### example ### ")
+		for _, ex := range examples {
+			sb.WriteString("instruct : ")
+			sb.WriteString(ex.Sentence)
+			sb.WriteString(" category : ")
+			sb.WriteString(ex.Label)
+			sb.WriteByte(' ')
+		}
+	} else {
+		sb.WriteByte(' ')
+	}
+	sb.WriteString("instruct : ")
+	sb.WriteString(query)
+	sb.WriteString(" category :")
+	return sb.String()
+}
+
+// FewShotPrefix renders the query-independent part of a FewShot prompt:
+// task description, examples, and the final "instruct :" marker. Combined
+// with QuerySuffix it reproduces FewShot exactly:
+//
+//	FewShot(examples, q) == FewShotPrefix(examples) + " " + QuerySuffix(q)
+//
+// The split lets inference reuse one KV cache of the prefix across many
+// queries.
+func FewShotPrefix(examples []Example) string {
+	full := FewShot(examples, "\x00")
+	// The query placeholder appears exactly once; cut just before it.
+	idx := strings.Index(full, "\x00")
+	return strings.TrimSuffix(full[:idx], " ")
+}
+
+// QuerySuffix renders the query-dependent tail of a FewShot prompt.
+func QuerySuffix(query string) string {
+	return query + " category :"
+}
+
+// Document renders a training document for decoder pre-training / LoRA
+// fine-tuning: a FewShot prompt followed by the query's answer.
+func Document(examples []Example, query, answer string) string {
+	return FewShot(examples, query) + " " + answer
+}
+
+// CoT renders the chain-of-thought variant of the prompt: same structure,
+// but with the step-by-step instruction instead of the category-only
+// constraint.
+func CoT(examples []Example, query string) string {
+	base := FewShot(examples, query)
+	return base + " " + CoTSuffix
+}

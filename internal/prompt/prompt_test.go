@@ -1,0 +1,64 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTaskDescriptionMentionsAllFeatures(t *testing.T) {
+	desc := TaskDescription()
+	for _, f := range []string{"wms_delay", "queue_delay", "runtime", "cpu_time"} {
+		if !strings.Contains(desc, f) {
+			t.Fatalf("task description missing %q", f)
+		}
+	}
+	if !strings.Contains(desc, "normal abnormal") {
+		t.Fatal("task description missing category list")
+	}
+}
+
+func TestZeroShotPrompt(t *testing.T) {
+	p := FewShot(nil, "runtime is 5.0")
+	if strings.Contains(p, "### example ###") {
+		t.Fatal("zero-shot prompt must not contain example header")
+	}
+	if !strings.HasSuffix(p, "instruct : runtime is 5.0 category :") {
+		t.Fatalf("prompt = %q", p)
+	}
+}
+
+func TestFewShotPromptStructure(t *testing.T) {
+	exs := []Example{
+		{Sentence: "runtime is 5.0", Label: "normal"},
+		{Sentence: "runtime is 900.0", Label: "abnormal"},
+	}
+	p := FewShot(exs, "runtime is 7.0")
+	if !strings.Contains(p, "### example ###") {
+		t.Fatal("few-shot prompt missing example header")
+	}
+	if strings.Count(p, "instruct :") != 3 {
+		t.Fatalf("want 3 instruct blocks, got %d", strings.Count(p, "instruct :"))
+	}
+	// Query comes last and has no label.
+	if !strings.HasSuffix(p, "instruct : runtime is 7.0 category :") {
+		t.Fatalf("prompt tail = %q", p[len(p)-60:])
+	}
+	// Examples precede the query.
+	if strings.Index(p, "900.0") > strings.Index(p, "7.0") {
+		t.Fatal("examples must precede query")
+	}
+}
+
+func TestDocumentAppendsAnswer(t *testing.T) {
+	d := Document(nil, "runtime is 5.0", "normal")
+	if !strings.HasSuffix(d, "category : normal") {
+		t.Fatalf("document = %q", d)
+	}
+}
+
+func TestCoTPrompt(t *testing.T) {
+	p := CoT(nil, "runtime is 5.0")
+	if !strings.HasSuffix(p, CoTSuffix) {
+		t.Fatalf("CoT prompt must end with the step-by-step instruction: %q", p)
+	}
+}

@@ -1,0 +1,71 @@
+package sft
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTrainHeadOnlyFreezesBackbone(t *testing.T) {
+	c, ds := testSetup(t, 60)
+	before := c.Model.TokEmb.Table.W.Clone()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	TrainHeadOnly(c, JobExamples(ds.Train), cfg)
+	if !c.Model.TokEmb.Table.W.Equal(before) {
+		t.Fatal("head-only training moved the backbone")
+	}
+}
+
+func TestTrainHeadOnlyLearns(t *testing.T) {
+	c, ds := testSetup(t, 200)
+	// Give the backbone some MLM-free structure by fine-tuning fully first,
+	// then resetting the head and re-learning it head-only.
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	Train(c, JobExamples(ds.Train), nil, cfg)
+	c.Model.ClsHead.Weight.W.Zero()
+	c.Model.ClsHead.Bias.W.Zero()
+
+	headCfg := DefaultTrainConfig()
+	headCfg.Epochs = 20
+	stats := TrainHeadOnly(c, JobExamples(ds.Train), headCfg)
+	if len(stats) != 20 {
+		t.Fatalf("ran %d epochs", len(stats))
+	}
+	if stats[len(stats)-1].TrainLoss >= stats[0].TrainLoss {
+		t.Fatalf("head-only loss did not fall: %v -> %v", stats[0].TrainLoss, stats[len(stats)-1].TrainLoss)
+	}
+	conf := Evaluate(c, ds.Test)
+	majority := 1 - ds.Stats()[2].Fraction()
+	if conf.Accuracy() <= majority {
+		t.Fatalf("head-only accuracy %.3f not above majority %.3f on learned features", conf.Accuracy(), majority)
+	}
+}
+
+func TestTrainHeadOnlyMuchFasterPerEpoch(t *testing.T) {
+	c, ds := testSetup(t, 150)
+	examples := JobExamples(ds.Train)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	full := Train(c, examples, nil, cfg)
+
+	c2, _ := testSetup(t, 5)
+	cfg.Epochs = 5
+	headStats := TrainHeadOnly(c2, examples, cfg)
+	// Epochs after the first (which includes feature extraction in setup,
+	// measured outside EpochStats) must be far cheaper than a full epoch.
+	var lastHead time.Duration = headStats[len(headStats)-1].Duration
+	if lastHead*5 > full[0].Duration {
+		t.Fatalf("head-only epoch %v not ≫ faster than full epoch %v", lastHead, full[0].Duration)
+	}
+}
+
+func TestTrainHeadOnlyZeroEpochsPanics(t *testing.T) {
+	c, ds := testSetup(t, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrainHeadOnly(c, JobExamples(ds.Train), TrainConfig{Epochs: 0})
+}

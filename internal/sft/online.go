@@ -1,0 +1,65 @@
+package sft
+
+import (
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+)
+
+// StepPrediction is the classifier's output after observing the first K
+// features of a job — one row of the Figure 7 online-detection timeline.
+type StepPrediction struct {
+	// K is the number of features observed (1-based).
+	K int
+	// Feature is the newest feature's name.
+	Feature string
+	// Sentence is the prefix sentence presented to the model.
+	Sentence string
+	// Label is the predicted label.
+	Label int
+	// Score is the probability of the predicted label.
+	Score float32
+}
+
+// OnlineTrace classifies every prefix of a job's feature sequence,
+// simulating real-time detection as log fields stream in (Figure 7).
+func OnlineTrace(c *Classifier, j flowbench.Job) []StepPrediction {
+	out := make([]StepPrediction, 0, flowbench.NumFeatures)
+	for k := 1; k <= flowbench.NumFeatures; k++ {
+		text := logparse.Prefix(j, k)
+		pred, probs := c.Predict(text)
+		out = append(out, StepPrediction{
+			K:        k,
+			Feature:  flowbench.FeatureNames[k-1],
+			Sentence: text,
+			Label:    pred,
+			Score:    probs[pred],
+		})
+	}
+	return out
+}
+
+// EarlyDetection computes the Figure 8 histogram: for each job, the first
+// prefix length at which the model predicts the job's true label; the
+// result counts jobs per feature index (0-based). Jobs never classified
+// correctly at any prefix are counted in the returned missed total.
+func EarlyDetection(c *Classifier, jobs []flowbench.Job) (histogram [flowbench.NumFeatures]int, missed int) {
+	for _, j := range jobs {
+		if k := firstCorrectPrefix(c, j); k == 0 {
+			missed++
+		} else {
+			histogram[k-1]++
+		}
+	}
+	return histogram, missed
+}
+
+// firstCorrectPrefix returns the 1-based prefix length at which the
+// classifier first predicts j's true label, or 0 if it never does.
+func firstCorrectPrefix(c *Classifier, j flowbench.Job) int {
+	for k := 1; k <= flowbench.NumFeatures; k++ {
+		if pred, _ := c.Predict(logparse.Prefix(j, k)); pred == j.Label {
+			return k
+		}
+	}
+	return 0
+}

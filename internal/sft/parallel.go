@@ -1,0 +1,108 @@
+package sft
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/flowbench"
+	"repro/internal/metrics"
+)
+
+// EvaluateParallel scores the classifier on labeled sentences using up to
+// GOMAXPROCS worker replicas. Each worker owns a deep clone of the model
+// (forward passes cache activations in the layers, so a single model is not
+// safe for concurrent use); weights are identical, so results match
+// EvaluateExamples exactly.
+func EvaluateParallel(c *Classifier, examples []Example) metrics.Confusion {
+	preds := predictParallel(c, examples)
+	labels := make([]int, len(examples))
+	for i, ex := range examples {
+		labels[i] = ex.Label
+	}
+	return metrics.NewConfusion(labels, preds)
+}
+
+// EvaluateJobsParallel is EvaluateParallel over a job set.
+func EvaluateJobsParallel(c *Classifier, jobs []flowbench.Job) metrics.Confusion {
+	return EvaluateParallel(c, JobExamples(jobs))
+}
+
+// AnomalyScoresParallel computes per-job anomaly scores with worker
+// replicas; results match AnomalyScores exactly.
+func AnomalyScoresParallel(c *Classifier, jobs []flowbench.Job) (labels []int, scores []float64) {
+	examples := JobExamples(jobs)
+	labels = make([]int, len(jobs))
+	scores = make([]float64, len(jobs))
+	for i, j := range jobs {
+		labels[i] = j.Label
+	}
+	forEachParallel(c, len(examples), func(worker *Classifier, i int) {
+		_, p := worker.Predict(examples[i].Text)
+		scores[i] = float64(p[1])
+	})
+	return labels, scores
+}
+
+// predictParallel classifies every example with worker replicas.
+func predictParallel(c *Classifier, examples []Example) []int {
+	preds := make([]int, len(examples))
+	forEachParallel(c, len(examples), func(worker *Classifier, i int) {
+		pred, _ := worker.Predict(examples[i].Text)
+		preds[i] = pred
+	})
+	return preds
+}
+
+// EarlyDetectionParallel is EarlyDetection with worker replicas: for each
+// job, the first prefix length at which the model predicts the true label.
+// Results match EarlyDetection exactly.
+func EarlyDetectionParallel(c *Classifier, jobs []flowbench.Job) (histogram [flowbench.NumFeatures]int, missed int) {
+	firsts := make([]int, len(jobs)) // 1-based first-correct k; 0 = never
+	forEachParallel(c, len(jobs), func(worker *Classifier, i int) {
+		firsts[i] = firstCorrectPrefix(worker, jobs[i])
+	})
+	for _, k := range firsts {
+		if k == 0 {
+			missed++
+		} else {
+			histogram[k-1]++
+		}
+	}
+	return histogram, missed
+}
+
+// forEachParallel fans fn over [0, n) with per-worker classifier replicas.
+// Small inputs run serially on the original classifier to avoid clone cost.
+func forEachParallel(c *Classifier, n int, fn func(worker *Classifier, i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	const minPerWorker = 16
+	if workers <= 1 || n < 2*minPerWorker {
+		for i := 0; i < n; i++ {
+			fn(c, i)
+		}
+		return
+	}
+	if workers > n/minPerWorker {
+		workers = n / minPerWorker
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		replica := c
+		if w > 0 { // worker 0 reuses the original
+			replica = NewClassifier(c.Model.Clone(), c.Tok)
+		}
+		wg.Add(1)
+		go func(r *Classifier) {
+			defer wg.Done()
+			for i := range next {
+				fn(r, i)
+			}
+		}(replica)
+	}
+	wg.Wait()
+}

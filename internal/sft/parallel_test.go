@@ -1,0 +1,52 @@
+package sft
+
+import (
+	"testing"
+)
+
+// TestEvaluateParallelMatchesSerial verifies the parallel evaluation path
+// produces the exact confusion matrix of the serial path.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	c, ds := testSetup(t, 60)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	Train(c, JobExamples(ds.Train), nil, cfg)
+	want := Evaluate(c, ds.Test)
+	got := EvaluateJobsParallel(c, ds.Test)
+	if want != got {
+		t.Fatalf("parallel %+v != serial %+v", got, want)
+	}
+}
+
+func TestAnomalyScoresParallelMatchesSerial(t *testing.T) {
+	c, ds := testSetup(t, 20)
+	wantLabels, wantScores := AnomalyScores(c, ds.Test)
+	gotLabels, gotScores := AnomalyScoresParallel(c, ds.Test)
+	for i := range wantScores {
+		if wantLabels[i] != gotLabels[i] || wantScores[i] != gotScores[i] {
+			t.Fatalf("index %d: parallel (%d, %v) != serial (%d, %v)",
+				i, gotLabels[i], gotScores[i], wantLabels[i], wantScores[i])
+		}
+	}
+}
+
+func TestEarlyDetectionParallelMatchesSerial(t *testing.T) {
+	c, ds := testSetup(t, 20)
+	jobs := ds.Test[:60]
+	wantHist, wantMissed := EarlyDetection(c, jobs)
+	gotHist, gotMissed := EarlyDetectionParallel(c, jobs)
+	if wantHist != gotHist || wantMissed != gotMissed {
+		t.Fatalf("parallel (%v, %d) != serial (%v, %d)", gotHist, gotMissed, wantHist, wantMissed)
+	}
+}
+
+// TestEvaluateParallelSmallInputServesSerially exercises the serial
+// fallback for tiny inputs.
+func TestEvaluateParallelSmallInput(t *testing.T) {
+	c, ds := testSetup(t, 5)
+	want := Evaluate(c, ds.Test[:3])
+	got := EvaluateJobsParallel(c, ds.Test[:3])
+	if want != got {
+		t.Fatalf("small-input parallel %+v != serial %+v", got, want)
+	}
+}

@@ -1,0 +1,266 @@
+// Package sft implements supervised fine-tuning of encoder models for
+// workflow anomaly detection (Section III-A of the paper): sentence
+// classification over log-derived job sentences, with the debiasing
+// augmentation of Figure 9, the parameter-freezing strategy of Table II,
+// transfer learning (Figures 10/11), and the online/early detection analyses
+// of Figures 7/8.
+package sft
+
+import (
+	"time"
+
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+	"repro/internal/transformer"
+)
+
+// Example is one labeled training sentence.
+type Example struct {
+	// Text is the feature sentence (possibly a prefix, or empty for the
+	// debiasing probe).
+	Text string
+	// Label is 0 (normal) or 1 (abnormal).
+	Label int
+}
+
+// JobExamples converts jobs to labeled sentence examples.
+func JobExamples(jobs []flowbench.Job) []Example {
+	out := make([]Example, len(jobs))
+	for i, j := range jobs {
+		out[i] = Example{Text: logparse.Sentence(j), Label: j.Label}
+	}
+	return out
+}
+
+// DebiasAugmentation returns n empty-sentence examples with alternating
+// labels. Adding these to the training set forces the model to predict
+// normal and abnormal with near-equal probability given no evidence — the
+// augmentation that produces Figure 9(b).
+func DebiasAugmentation(n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		out[i] = Example{Text: "", Label: i % 2}
+	}
+	return out
+}
+
+// Classifier couples a transformer with the tokenizer that feeds it.
+type Classifier struct {
+	Model *transformer.Model
+	Tok   *tokenizer.Tokenizer
+}
+
+// NewClassifier wraps a model and tokenizer.
+func NewClassifier(m *transformer.Model, tok *tokenizer.Tokenizer) *Classifier {
+	return &Classifier{Model: m, Tok: tok}
+}
+
+// Predict classifies a sentence, returning the predicted label and the
+// class-probability pair (normal, abnormal).
+func (c *Classifier) Predict(text string) (int, [2]float32) {
+	ids := c.Tok.Encode(text, true)
+	logits := c.Model.ForwardCls(ids, false)
+	row := make([]float32, 2)
+	copy(row, logits.Row(0))
+	tensor.Softmax(row)
+	return tensor.ArgMax(row), [2]float32{row[0], row[1]}
+}
+
+// PredictJob classifies a job's full sentence.
+func (c *Classifier) PredictJob(j flowbench.Job) (int, [2]float32) {
+	return c.Predict(logparse.Sentence(j))
+}
+
+// Score returns the anomaly score (probability of the abnormal class) for a
+// sentence, used for ranking metrics.
+func (c *Classifier) Score(text string) float64 {
+	_, p := c.Predict(text)
+	return float64(p[1])
+}
+
+// TrainConfig controls fine-tuning.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// LR is the peak AdamW learning rate.
+	LR float64
+	// WeightDecay is the decoupled weight decay.
+	WeightDecay float64
+	// BatchSize is the gradient-accumulation window (sequences per step).
+	BatchSize int
+	// ClipNorm bounds the global gradient norm (0 disables clipping).
+	ClipNorm float64
+	// Seed controls example shuffling.
+	Seed uint64
+	// Augment is appended to the training set each epoch (e.g.
+	// DebiasAugmentation).
+	Augment []Example
+	// ValEvery evaluates on the validation set every ValEvery epochs
+	// (0 = never); per-epoch scores land in the returned stats.
+	ValEvery int
+	// Patience stops training early when validation accuracy has not
+	// improved for Patience consecutive evaluations (0 disables). Requires
+	// ValEvery > 0 and a validation set. The Figure 6 finding — a few
+	// epochs suffice and long training overfits — is what this knob acts
+	// on.
+	Patience int
+}
+
+// DefaultTrainConfig is the fine-tuning recipe used across experiments.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 3, LR: 1e-3, WeightDecay: 0.01, BatchSize: 8, ClipNorm: 1.0, Seed: 1}
+}
+
+// EpochStats records one epoch of fine-tuning.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	Val       metrics.Scores
+	HasVal    bool
+	Duration  time.Duration
+}
+
+// Train fine-tunes the classifier on train, optionally tracking validation
+// scores, and returns per-epoch statistics. Training mutates c.Model in
+// place.
+func Train(c *Classifier, train, val []Example, cfg TrainConfig) []EpochStats {
+	if cfg.Epochs <= 0 {
+		panic("sft: non-positive epochs")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	data := make([]Example, 0, len(train)+len(cfg.Augment))
+	data = append(data, train...)
+	data = append(data, cfg.Augment...)
+	rng := tensor.NewRNG(cfg.Seed)
+	opt := nn.NewAdamW(cfg.LR, cfg.WeightDecay)
+	ce := nn.NewSoftmaxCrossEntropy()
+	params := c.Model.Params()
+	stats := make([]EpochStats, 0, cfg.Epochs)
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		rng.Shuffle(order)
+		var totalLoss float64
+		pending := 0
+		invBatch := 1 / float32(cfg.BatchSize)
+		for _, idx := range order {
+			ex := data[idx]
+			ids := c.Tok.Encode(ex.Text, true)
+			logits := c.Model.ForwardCls(ids, true)
+			loss, grad := ce.Loss(logits, []int{ex.Label})
+			totalLoss += loss
+			tensor.Scale(grad, grad, invBatch)
+			c.Model.BackwardCls(grad)
+			pending++
+			if pending == cfg.BatchSize {
+				if cfg.ClipNorm > 0 {
+					nn.ClipGradNorm(params, cfg.ClipNorm)
+				}
+				opt.Step(params)
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		st := EpochStats{
+			Epoch:     epoch,
+			TrainLoss: totalLoss / float64(max(1, len(data))),
+			Duration:  time.Since(start),
+		}
+		if cfg.ValEvery > 0 && (epoch%cfg.ValEvery == cfg.ValEvery-1 || epoch == cfg.Epochs-1) && len(val) > 0 {
+			st.Val = metrics.FromConfusion(EvaluateExamples(c, val))
+			st.HasVal = true
+		}
+		stats = append(stats, st)
+		if cfg.Patience > 0 && st.HasVal && shouldStop(stats, cfg.Patience) {
+			break
+		}
+	}
+	return stats
+}
+
+// shouldStop reports whether the last Patience validation scores failed to
+// improve on the best seen so far.
+func shouldStop(stats []EpochStats, patience int) bool {
+	best := -1.0
+	bestAt := -1
+	evals := 0
+	for i, st := range stats {
+		if !st.HasVal {
+			continue
+		}
+		evals++
+		if st.Val.Accuracy > best {
+			best = st.Val.Accuracy
+			bestAt = i
+		}
+	}
+	if evals <= patience {
+		return false
+	}
+	// Count evaluations after the best one.
+	since := 0
+	for _, st := range stats[bestAt+1:] {
+		if st.HasVal {
+			since++
+		}
+	}
+	return since >= patience
+}
+
+// EvaluateExamples scores the classifier on labeled sentences.
+func EvaluateExamples(c *Classifier, examples []Example) metrics.Confusion {
+	labels := make([]int, len(examples))
+	preds := make([]int, len(examples))
+	for i, ex := range examples {
+		labels[i] = ex.Label
+		pred, _ := c.Predict(ex.Text)
+		preds[i] = pred
+	}
+	return metrics.NewConfusion(labels, preds)
+}
+
+// Evaluate scores the classifier on a job set.
+func Evaluate(c *Classifier, jobs []flowbench.Job) metrics.Confusion {
+	return EvaluateExamples(c, JobExamples(jobs))
+}
+
+// AnomalyScores returns per-job anomaly scores and labels for ranking
+// metrics (Table IV style evaluation of classifiers).
+func AnomalyScores(c *Classifier, jobs []flowbench.Job) (labels []int, scores []float64) {
+	labels = make([]int, len(jobs))
+	scores = make([]float64, len(jobs))
+	for i, j := range jobs {
+		labels[i] = j.Label
+		scores[i] = c.Score(logparse.Sentence(j))
+	}
+	return labels, scores
+}
+
+// BiasProbe predicts the empty sentence and returns the (normal, abnormal)
+// probability pair — the Figure 9 probe. An unbiased model returns ≈(0.5,
+// 0.5).
+func BiasProbe(c *Classifier) [2]float32 {
+	_, p := c.Predict("")
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	s := r.Split()
+	// The split stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream collides with parent %d/50 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer expectPanic(t, "Intn(0)")
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.08 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(17)
+	idx := []int{1, 2, 3, 4, 5}
+	r.Shuffle(idx)
+	sum := 0
+	for _, v := range idx {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", idx)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(1, 0.5) <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+	}
+}
+
+func TestGaussianFill(t *testing.T) {
+	m := New(100, 100)
+	Gaussian(m, 2, NewRNG(23))
+	var sumsq float64
+	for _, v := range m.Data {
+		sumsq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumsq / float64(len(m.Data)))
+	if math.Abs(std-2) > 0.1 {
+		t.Fatalf("Gaussian std = %v, want ≈2", std)
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	m := New(10, 20)
+	XavierInit(m, 10, 20, NewRNG(29))
+	limit := float32(math.Sqrt(6.0 / 30.0))
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier sample %v outside ±%v", v, limit)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package tokenizer implements the shared vocabulary used by all models in
+// this repository. Log-derived sentences are split into whitespace word
+// tokens; numeric values are discretized into logarithmic magnitude buckets
+// so that models can compare magnitudes (the signal that distinguishes
+// normal from anomalous jobs) without an unbounded numeral vocabulary.
+//
+// Unlike LogBERT/LogGPT-style systems, which bake a log-template vocabulary
+// into the model, this tokenizer is built from any corpus, so the same model
+// generalizes across the three Flow-Bench workflows — the portability
+// property the paper claims over prior log-anomaly work.
+package tokenizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Special token ids are fixed so models can depend on them.
+const (
+	PAD  = 0
+	UNK  = 1
+	CLS  = 2
+	SEP  = 3
+	MASK = 4
+	BOS  = 5
+	EOS  = 6
+)
+
+var specialTokens = []string{"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[BOS]", "[EOS]"}
+
+// numBuckets is the count of logarithmic magnitude buckets for numeric
+// tokens. Quarter-decade resolution distinguishes the ≈2× shifts injected by
+// the CPU/HDD anomaly templates while keeping the vocabulary small.
+const numBuckets = 48
+
+// bucketsPerDecade controls numeric resolution (4 ⇒ each bucket spans 10^¼ ≈ 1.78×).
+const bucketsPerDecade = 4
+
+// Tokenizer maps between text and integer token ids.
+type Tokenizer struct {
+	idx   map[string]int
+	words []string
+}
+
+// NumToken returns the magnitude-bucket token for a numeric value.
+// Negative values share the bucket of their magnitude with a sign prefix
+// handled as a separate "-" token by Tokenize; v here is the absolute value.
+func NumToken(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "[UNK]"
+	}
+	a := math.Abs(v)
+	var b int
+	if a < 1 {
+		b = 0
+	} else {
+		b = 1 + int(math.Log10(a)*bucketsPerDecade)
+		if b >= numBuckets {
+			b = numBuckets - 1
+		}
+	}
+	return fmt.Sprintf("<num%d>", b)
+}
+
+// Tokenize splits text into word tokens: lowercased whitespace-delimited
+// words, with trailing punctuation split off and numerals replaced by
+// magnitude buckets.
+func Tokenize(text string) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	var out []string
+	for _, f := range fields {
+		out = appendWordTokens(out, f)
+	}
+	return out
+}
+
+func appendWordTokens(out []string, f string) []string {
+	// Split leading/trailing punctuation into standalone tokens.
+	for len(f) > 0 && isPunct(f[0]) {
+		out = append(out, string(f[0]))
+		f = f[1:]
+	}
+	var trail []string
+	for len(f) > 0 && isPunct(f[len(f)-1]) {
+		trail = append([]string{string(f[len(f)-1])}, trail...)
+		f = f[:len(f)-1]
+	}
+	if len(f) > 0 {
+		if v, err := strconv.ParseFloat(f, 64); err == nil {
+			if v < 0 {
+				out = append(out, "-")
+				v = -v
+			}
+			out = append(out, NumToken(v))
+		} else {
+			out = append(out, f)
+		}
+	}
+	return append(out, trail...)
+}
+
+func isPunct(b byte) bool {
+	switch b {
+	case ',', '.', ':', ';', '?', '!', '(', ')', '"', '\'':
+		return true
+	}
+	return false
+}
+
+// Build constructs a tokenizer whose vocabulary covers the given corpus plus
+// all special and numeric-bucket tokens. Vocabulary order is deterministic:
+// specials, numeric buckets, then corpus words sorted lexicographically.
+func Build(corpus []string) *Tokenizer {
+	seen := make(map[string]bool)
+	for _, text := range corpus {
+		for _, tok := range Tokenize(text) {
+			seen[tok] = true
+		}
+	}
+	var words []string
+	words = append(words, specialTokens...)
+	for b := 0; b < numBuckets; b++ {
+		words = append(words, fmt.Sprintf("<num%d>", b))
+	}
+	inVocab := make(map[string]bool, len(words))
+	for _, w := range words {
+		inVocab[w] = true
+	}
+	var rest []string
+	for w := range seen {
+		if !inVocab[w] {
+			rest = append(rest, w)
+		}
+	}
+	sort.Strings(rest)
+	words = append(words, rest...)
+	t := &Tokenizer{idx: make(map[string]int, len(words)), words: words}
+	for i, w := range words {
+		t.idx[w] = i
+	}
+	return t
+}
+
+// VocabSize returns the number of tokens in the vocabulary.
+func (t *Tokenizer) VocabSize() int { return len(t.words) }
+
+// ID returns the id of tok, or UNK if absent.
+func (t *Tokenizer) ID(tok string) int {
+	if id, ok := t.idx[tok]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Word returns the surface form of id.
+func (t *Tokenizer) Word(id int) string {
+	if id < 0 || id >= len(t.words) {
+		return "[UNK]"
+	}
+	return t.words[id]
+}
+
+// Encode tokenizes text into ids. When wrap is true the sequence is framed
+// as [CLS] ... [SEP] (encoder classification convention).
+func (t *Tokenizer) Encode(text string, wrap bool) []int {
+	toks := Tokenize(text)
+	out := make([]int, 0, len(toks)+2)
+	if wrap {
+		out = append(out, CLS)
+	}
+	for _, tok := range toks {
+		out = append(out, t.ID(tok))
+	}
+	if wrap {
+		out = append(out, SEP)
+	}
+	return out
+}
+
+// Decode renders ids back to a space-joined string, skipping padding.
+func (t *Tokenizer) Decode(ids []int) string {
+	var sb strings.Builder
+	for i, id := range ids {
+		if id == PAD {
+			continue
+		}
+		if i > 0 && sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(t.Word(id))
+	}
+	return sb.String()
+}
+
+// UnknownRate reports the fraction of tokens in text that map to UNK —
+// useful for verifying that a vocabulary built on one workflow covers
+// another (the transfer-learning setting).
+func (t *Tokenizer) UnknownRate(text string) float64 {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return 0
+	}
+	unk := 0
+	for _, tok := range toks {
+		if t.ID(tok) == UNK {
+			unk++
+		}
+	}
+	return float64(unk) / float64(len(toks))
+}

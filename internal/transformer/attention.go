@@ -1,0 +1,185 @@
+// Package transformer implements the encoder-only (BERT-style) and
+// decoder-only (GPT-style) transformer models used for supervised fine-tuning
+// and in-context learning, with hand-written backpropagation on top of
+// internal/nn.
+//
+// Models process one token sequence at a time ([seq, d_model] matrices);
+// mini-batching is done by gradient accumulation in the trainers. At the
+// model sizes used in this reproduction (d_model 32–128), per-sequence
+// processing with parallel matmul kernels is faster than padding-heavy
+// batching and keeps the backward pass straightforward.
+package transformer
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MultiHeadAttention is scaled dot-product self-attention with NumHeads heads
+// over a DModel-wide residual stream. When Causal is true, position i may
+// only attend to positions ≤ i (decoder-style).
+type MultiHeadAttention struct {
+	NumHeads int
+	DModel   int
+	Causal   bool
+
+	// The projections are nn.Layer so that Wq/Wv can be swapped for
+	// nn.LoRALinear adapters by Model.ApplyLoRA; they are *nn.Linear as
+	// constructed.
+	Wq, Wk, Wv, Wo nn.Layer
+
+	// Cached forward state for the backward pass.
+	x       *tensor.Matrix
+	q, k, v *tensor.Matrix
+	probs   []*tensor.Matrix // per-head [T,T] attention distributions
+	concat  *tensor.Matrix   // pre-Wo head concatenation
+}
+
+// NewMultiHeadAttention constructs an attention layer. dModel must be
+// divisible by numHeads.
+func NewMultiHeadAttention(name string, dModel, numHeads int, causal bool, rng *tensor.RNG) *MultiHeadAttention {
+	if dModel%numHeads != 0 {
+		panic("transformer: dModel must be divisible by numHeads")
+	}
+	return &MultiHeadAttention{
+		NumHeads: numHeads,
+		DModel:   dModel,
+		Causal:   causal,
+		Wq:       nn.NewLinear(name+".wq", dModel, dModel, rng),
+		Wk:       nn.NewLinear(name+".wk", dModel, dModel, rng),
+		Wv:       nn.NewLinear(name+".wv", dModel, dModel, rng),
+		Wo:       nn.NewLinear(name+".wo", dModel, dModel, rng),
+	}
+}
+
+// sharedCopy returns an attention layer sharing a's parameters but with
+// independent forward caches (used for ALBERT-style layer sharing). It
+// requires plain Linear projections — LoRA is not combined with layer
+// sharing.
+func (a *MultiHeadAttention) sharedCopy() *MultiHeadAttention {
+	share := func(l nn.Layer) nn.Layer {
+		lin := l.(*nn.Linear)
+		return &nn.Linear{Weight: lin.Weight, Bias: lin.Bias}
+	}
+	return &MultiHeadAttention{
+		NumHeads: a.NumHeads, DModel: a.DModel, Causal: a.Causal,
+		Wq: share(a.Wq), Wk: share(a.Wk), Wv: share(a.Wv), Wo: share(a.Wo),
+	}
+}
+
+// headView extracts head h (columns [h·dh, (h+1)·dh)) of m into a new [T,dh]
+// matrix.
+func headView(m *tensor.Matrix, h, dh int) *tensor.Matrix {
+	out := tensor.New(m.Rows, dh)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[h*dh:(h+1)*dh])
+	}
+	return out
+}
+
+// headStore adds src [T,dh] into columns [h·dh,(h+1)·dh) of dst.
+func headStore(dst, src *tensor.Matrix, h, dh int) {
+	for i := 0; i < src.Rows; i++ {
+		dr := dst.Row(i)[h*dh : (h+1)*dh]
+		for j, v := range src.Row(i) {
+			dr[j] += v
+		}
+	}
+}
+
+// Forward computes self-attention over x [T, dModel].
+func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	T := x.Rows
+	dh := a.DModel / a.NumHeads
+	a.x = x
+	a.q = a.Wq.Forward(x, train)
+	a.k = a.Wk.Forward(x, train)
+	a.v = a.Wv.Forward(x, train)
+	a.probs = make([]*tensor.Matrix, a.NumHeads)
+	a.concat = tensor.New(T, a.DModel)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for h := 0; h < a.NumHeads; h++ {
+		qh := headView(a.q, h, dh)
+		kh := headView(a.k, h, dh)
+		vh := headView(a.v, h, dh)
+		scores := tensor.MatMulT(nil, qh, kh)
+		tensor.Scale(scores, scores, scale)
+		if a.Causal {
+			for i := 0; i < T; i++ {
+				row := scores.Row(i)
+				for j := i + 1; j < T; j++ {
+					row[j] = float32(math.Inf(-1))
+				}
+			}
+		}
+		tensor.RowSoftmax(scores)
+		a.probs[h] = scores
+		out := tensor.MatMul(nil, scores, vh)
+		headStore(a.concat, out, h, dh)
+	}
+	return a.Wo.Forward(a.concat, train)
+}
+
+// Backward propagates dout through the attention layer, accumulating
+// parameter gradients and returning dx.
+func (a *MultiHeadAttention) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if a.x == nil {
+		panic("transformer: attention Backward before Forward")
+	}
+	T := dout.Rows
+	dh := a.DModel / a.NumHeads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	dConcat := a.Wo.Backward(dout)
+	dq := tensor.New(T, a.DModel)
+	dk := tensor.New(T, a.DModel)
+	dv := tensor.New(T, a.DModel)
+	for h := 0; h < a.NumHeads; h++ {
+		dOutH := headView(dConcat, h, dh)
+		probs := a.probs[h]
+		vh := headView(a.v, h, dh)
+		qh := headView(a.q, h, dh)
+		kh := headView(a.k, h, dh)
+		// out = probs · vh
+		dProbs := tensor.MatMulT(nil, dOutH, vh) // [T,T]
+		dVh := tensor.TMatMul(nil, probs, dOutH) // [T,dh]
+		// Softmax backward per row: dS = P ⊙ (dP - Σ dP⊙P).
+		dScores := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			pr := probs.Row(i)
+			dpr := dProbs.Row(i)
+			var dot float32
+			for j := range pr {
+				dot += pr[j] * dpr[j]
+			}
+			dsr := dScores.Row(i)
+			for j := range pr {
+				dsr[j] = pr[j] * (dpr[j] - dot)
+			}
+		}
+		tensor.Scale(dScores, dScores, scale)
+		// scores = qh·khᵀ ⇒ dq = dS·kh, dk = dSᵀ·qh.
+		dQh := tensor.MatMul(nil, dScores, kh)
+		dKh := tensor.TMatMul(nil, dScores, qh)
+		headStore(dq, dQh, h, dh)
+		headStore(dk, dKh, h, dh)
+		headStore(dv, dVh, h, dh)
+	}
+	dx := a.Wq.Backward(dq)
+	tensor.AddScaled(dx, a.Wk.Backward(dk), 1)
+	tensor.AddScaled(dx, a.Wv.Backward(dv), 1)
+	a.x, a.q, a.k, a.v, a.probs, a.concat = nil, nil, nil, nil, nil, nil
+	return dx
+}
+
+// Params returns the four projection matrices' parameters.
+func (a *MultiHeadAttention) Params() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, a.Wq.Params()...)
+	out = append(out, a.Wk.Params()...)
+	out = append(out, a.Wv.Params()...)
+	out = append(out, a.Wo.Params()...)
+	return out
+}

@@ -1,0 +1,100 @@
+package transformer
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Block is one pre-norm transformer layer:
+//
+//	x = x + Dropout(Attn(LN1(x)))
+//	x = x + Dropout(FFN(LN2(x)))
+//
+// Pre-norm is used (rather than the original post-norm) because it trains
+// stably without a warmup-sensitive schedule at the small scales of this
+// reproduction; the paper's claims do not depend on norm placement.
+type Block struct {
+	LN1   *nn.LayerNorm
+	Attn  *MultiHeadAttention
+	LN2   *nn.LayerNorm
+	FF1   *nn.Linear
+	Act   *nn.GELU
+	FF2   *nn.Linear
+	dropA *nn.Dropout
+	dropF *nn.Dropout
+}
+
+// NewBlock builds a transformer block with the given dimensions.
+func NewBlock(name string, dModel, numHeads, ffnDim int, causal bool, dropout float32, rng *tensor.RNG) *Block {
+	return &Block{
+		LN1:   nn.NewLayerNorm(name+".ln1", dModel),
+		Attn:  NewMultiHeadAttention(name+".attn", dModel, numHeads, causal, rng),
+		LN2:   nn.NewLayerNorm(name+".ln2", dModel),
+		FF1:   nn.NewLinear(name+".ff1", dModel, ffnDim, rng),
+		Act:   nn.NewGELU(),
+		FF2:   nn.NewLinear(name+".ff2", ffnDim, dModel, rng),
+		dropA: nn.NewDropout(dropout, rng.Split()),
+		dropF: nn.NewDropout(dropout, rng.Split()),
+	}
+}
+
+// SharedCopy returns a block sharing b's parameters but owning its forward
+// caches, enabling ALBERT-style cross-layer parameter sharing: N distinct
+// Block values reuse one set of weights, and their gradients accumulate into
+// the shared Param buffers.
+func (b *Block) SharedCopy(rng *tensor.RNG) *Block {
+	return &Block{
+		LN1:   &nn.LayerNorm{Gamma: b.LN1.Gamma, Beta: b.LN1.Beta, Eps: b.LN1.Eps},
+		Attn:  b.Attn.sharedCopy(),
+		LN2:   &nn.LayerNorm{Gamma: b.LN2.Gamma, Beta: b.LN2.Beta, Eps: b.LN2.Eps},
+		FF1:   &nn.Linear{Weight: b.FF1.Weight, Bias: b.FF1.Bias},
+		Act:   nn.NewGELU(),
+		FF2:   &nn.Linear{Weight: b.FF2.Weight, Bias: b.FF2.Bias},
+		dropA: nn.NewDropout(b.dropA.P, rng.Split()),
+		dropF: nn.NewDropout(b.dropF.P, rng.Split()),
+	}
+}
+
+// Forward runs the block over x [T, dModel].
+func (b *Block) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	h := b.LN1.Forward(x, train)
+	h = b.Attn.Forward(h, train)
+	h = b.dropA.Forward(h, train)
+	x1 := tensor.Add(nil, x, h)
+
+	h2 := b.LN2.Forward(x1, train)
+	h2 = b.FF1.Forward(h2, train)
+	h2 = b.Act.Forward(h2, train)
+	h2 = b.FF2.Forward(h2, train)
+	h2 = b.dropF.Forward(h2, train)
+	return tensor.Add(nil, x1, h2)
+}
+
+// Backward propagates dout through the block and returns dx.
+func (b *Block) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	// Residual 2: out = x1 + drop(FF(LN2(x1))).
+	dh2 := b.dropF.Backward(dout)
+	dh2 = b.FF2.Backward(dh2)
+	dh2 = b.Act.Backward(dh2)
+	dh2 = b.FF1.Backward(dh2)
+	dx1 := b.LN2.Backward(dh2)
+	tensor.AddScaled(dx1, dout, 1)
+
+	// Residual 1: x1 = x + drop(Attn(LN1(x))).
+	dh := b.dropA.Backward(dx1)
+	dh = b.Attn.Backward(dh)
+	dx := b.LN1.Backward(dh)
+	tensor.AddScaled(dx, dx1, 1)
+	return dx
+}
+
+// Params returns all block parameters.
+func (b *Block) Params() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, b.LN1.Params()...)
+	out = append(out, b.Attn.Params()...)
+	out = append(out, b.LN2.Params()...)
+	out = append(out, b.FF1.Params()...)
+	out = append(out, b.FF2.Params()...)
+	return out
+}

@@ -1,0 +1,125 @@
+package transformer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Clone returns a deep copy of the model: fresh parameter and cache storage
+// with identical weights. Cloning is how experiments reuse one pre-trained
+// checkpoint across many fine-tuning runs without re-pre-training.
+//
+// Clone requires the model to still have its constructed-time architecture
+// (no LoRA wrapping or quantization applied); it panics otherwise, because
+// Params() ordering would no longer match a freshly built model.
+func (m *Model) Clone() *Model {
+	// Rebuild with an arbitrary seed; weights are overwritten below.
+	out := New(m.Config, tensor.NewRNG(1))
+	src := m.Params()
+	dst := out.Params()
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("transformer: clone param mismatch %d vs %d (model was structurally modified?)", len(src), len(dst)))
+	}
+	for i, p := range src {
+		if p.W.Rows != dst[i].W.Rows || p.W.Cols != dst[i].W.Cols {
+			panic(fmt.Sprintf("transformer: clone shape mismatch at %s", p.Name))
+		}
+		copy(dst[i].W.Data, p.W.Data)
+		dst[i].Frozen = p.Frozen
+	}
+	return out
+}
+
+// checkpointMagic identifies the binary checkpoint format.
+const checkpointMagic = uint32(0x57464144) // "WFAD"
+
+// Save writes the model's parameters to w in a compact binary format
+// (magic, param count, then per-parameter name/shape/float32 data).
+// Architecture configuration is not serialized; Load must be called on a
+// model built with the same Config.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.W.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.W.Cols)); err != nil {
+			return err
+		}
+		for _, v := range p.W.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads parameters written by Save into the model. The model must have
+// the same architecture (parameter order and shapes) as the one saved.
+func (m *Model) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("transformer: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("transformer: bad checkpoint magic %#x", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("transformer: checkpoint has %d params, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+			return fmt.Errorf("transformer: checkpoint param %s is %dx%d, model expects %dx%d",
+				name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		for i := range p.W.Data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			p.W.Data[i] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package transformer
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCloneProducesIdenticalOutputs(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(31))
+	c := m.Clone()
+	ids := []int{1, 2, 3, 4}
+	if !m.ForwardCls(ids, false).Equal(c.ForwardCls(ids, false)) {
+		t.Fatal("clone output differs")
+	}
+	// Mutating the clone must not affect the original.
+	c.ClsHead.Weight.W.Data[0] += 1
+	if m.ForwardCls(ids, false).Equal(c.ForwardCls(ids, false)) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestClonePreservesFrozenFlags(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(32))
+	m.FreezeBackbone()
+	c := m.Clone()
+	if !c.TokEmb.Table.Frozen {
+		t.Fatal("clone dropped frozen flag")
+	}
+	if c.ClsHead.Weight.Frozen {
+		t.Fatal("clone froze unfrozen param")
+	}
+}
+
+func TestCloneSharedLayers(t *testing.T) {
+	cfg := smallConfig(false)
+	cfg.ShareLayers = true
+	cfg.NumLayers = 3
+	m := New(cfg, tensor.NewRNG(33))
+	c := m.Clone()
+	ids := []int{1, 2, 3}
+	if !m.ForwardCls(ids, false).Equal(c.ForwardCls(ids, false)) {
+		t.Fatal("shared-layer clone output differs")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := New(smallConfig(true), tensor.NewRNG(34))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(smallConfig(true), tensor.NewRNG(99)) // different init
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{2, 4, 6}
+	if !m.ForwardLM(ids, false).Equal(m2.ForwardLM(ids, false)) {
+		t.Fatal("loaded model differs from saved model")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(35))
+	if err := m.Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestLoadRejectsArchitectureMismatch(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(36))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := smallConfig(false)
+	other.DModel = 16 // divisible by heads, different shape
+	m2 := New(other, tensor.NewRNG(37))
+	if err := m2.Load(&buf); err == nil {
+		t.Fatal("expected error on architecture mismatch")
+	}
+}

@@ -1,0 +1,97 @@
+package transformer
+
+import (
+	"repro/internal/tensor"
+)
+
+// NextTokenLogits runs a forward pass over prompt and returns the logits for
+// the next token (the LM head output at the final position). The model must
+// be causal.
+func (m *Model) NextTokenLogits(prompt []int) []float32 {
+	if !m.Config.Causal {
+		panic("transformer: NextTokenLogits requires a causal model")
+	}
+	if len(prompt) > m.Config.MaxSeqLen {
+		// Keep the most recent context — the right edge carries the query.
+		prompt = prompt[len(prompt)-m.Config.MaxSeqLen:]
+	}
+	logits := m.ForwardLM(prompt, false)
+	out := make([]float32, logits.Cols)
+	copy(out, logits.Row(logits.Rows-1))
+	m.lastIDs, m.lastH = nil, nil
+	return out
+}
+
+// GenerateOptions controls autoregressive decoding.
+type GenerateOptions struct {
+	// MaxNewTokens bounds the generated continuation length.
+	MaxNewTokens int
+	// Temperature scales logits before sampling; 0 selects greedy decoding.
+	Temperature float64
+	// StopTokens end generation when produced (e.g. [SEP]/[EOS]).
+	StopTokens []int
+	// RNG supplies sampling randomness (required when Temperature > 0).
+	RNG *tensor.RNG
+}
+
+// Generate autoregressively extends prompt, returning only the newly
+// generated token ids.
+func (m *Model) Generate(prompt []int, opts GenerateOptions) []int {
+	stop := make(map[int]bool, len(opts.StopTokens))
+	for _, t := range opts.StopTokens {
+		stop[t] = true
+	}
+	ctx := make([]int, len(prompt))
+	copy(ctx, prompt)
+	var out []int
+	for step := 0; step < opts.MaxNewTokens; step++ {
+		logits := m.NextTokenLogits(ctx)
+		var next int
+		if opts.Temperature <= 0 {
+			next = tensor.ArgMax(logits)
+		} else {
+			inv := float32(1 / opts.Temperature)
+			for i := range logits {
+				logits[i] *= inv
+			}
+			tensor.Softmax(logits)
+			next = sampleCategorical(logits, opts.RNG)
+		}
+		if stop[next] {
+			break
+		}
+		out = append(out, next)
+		ctx = append(ctx, next)
+	}
+	return out
+}
+
+// ScoreChoice compares candidate continuation tokens and returns the index
+// of the one the model assigns the highest next-token logit, along with the
+// softmax probability over just those choices. This is the constrained
+// decoding used for ICL classification: the choices are the first tokens of
+// "Normal" and "Abnormal".
+func (m *Model) ScoreChoice(prompt []int, choices []int) (best int, probs []float32) {
+	logits := m.NextTokenLogits(prompt)
+	sub := make([]float32, len(choices))
+	for i, c := range choices {
+		sub[i] = logits[c]
+	}
+	tensor.Softmax(sub)
+	return tensor.ArgMax(sub), sub
+}
+
+func sampleCategorical(probs []float32, rng *tensor.RNG) int {
+	if rng == nil {
+		panic("transformer: sampling requires an RNG")
+	}
+	r := rng.Float32()
+	var acc float32
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

@@ -1,0 +1,109 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestKVCacheMatchesFullForward is the core equivalence property: logits
+// from the cached path must match a full forward pass over the
+// concatenation.
+func TestKVCacheMatchesFullForward(t *testing.T) {
+	cfg := smallConfig(true)
+	cfg.MaxSeqLen = 32
+	m := New(cfg, tensor.NewRNG(51))
+	prefix := []int{1, 4, 2, 9, 7, 3}
+	suffix := []int{5, 8, 11}
+	full := m.NextTokenLogits(append(append([]int{}, prefix...), suffix...))
+	cache := m.BuildKVCache(prefix)
+	cached := m.NextTokenLogitsWithCache(cache, suffix)
+	for i := range full {
+		if math.Abs(float64(full[i]-cached[i])) > 1e-4 {
+			t.Fatalf("logit %d: full %v vs cached %v", i, full[i], cached[i])
+		}
+	}
+}
+
+func TestKVCacheReusableAcrossSuffixes(t *testing.T) {
+	cfg := smallConfig(true)
+	m := New(cfg, tensor.NewRNG(52))
+	prefix := []int{2, 4, 6, 8}
+	cache := m.BuildKVCache(prefix)
+	for _, suffix := range [][]int{{1}, {3, 5}, {7, 9, 11}} {
+		full := m.NextTokenLogits(append(append([]int{}, prefix...), suffix...))
+		cached := m.NextTokenLogitsWithCache(cache, suffix)
+		for i := range full {
+			if math.Abs(float64(full[i]-cached[i])) > 1e-4 {
+				t.Fatalf("suffix %v logit %d mismatch", suffix, i)
+			}
+		}
+	}
+}
+
+func TestScoreChoiceWithCacheMatches(t *testing.T) {
+	cfg := smallConfig(true)
+	m := New(cfg, tensor.NewRNG(53))
+	prefix := []int{1, 2, 3}
+	suffix := []int{4, 5}
+	choices := []int{6, 7}
+	wantBest, wantProbs := m.ScoreChoice(append(append([]int{}, prefix...), suffix...), choices)
+	cache := m.BuildKVCache(prefix)
+	gotBest, gotProbs := m.ScoreChoiceWithCache(cache, suffix, choices)
+	if gotBest != wantBest {
+		t.Fatalf("best = %d, want %d", gotBest, wantBest)
+	}
+	for i := range wantProbs {
+		if math.Abs(float64(wantProbs[i]-gotProbs[i])) > 1e-4 {
+			t.Fatalf("probs mismatch: %v vs %v", gotProbs, wantProbs)
+		}
+	}
+}
+
+func TestBuildKVCacheRejectsNonCausal(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(54))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.BuildKVCache([]int{1, 2})
+}
+
+func TestBuildKVCacheRejectsOverflow(t *testing.T) {
+	cfg := smallConfig(true)
+	m := New(cfg, tensor.NewRNG(55))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.BuildKVCache(make([]int, cfg.MaxSeqLen+1))
+}
+
+func TestCachePathRejectsTotalOverflow(t *testing.T) {
+	cfg := smallConfig(true)
+	m := New(cfg, tensor.NewRNG(56))
+	cache := m.BuildKVCache(make([]int, cfg.MaxSeqLen-1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.NextTokenLogitsWithCache(cache, []int{1, 2, 3})
+}
+
+func TestKVCacheNotMutatedByQueries(t *testing.T) {
+	cfg := smallConfig(true)
+	m := New(cfg, tensor.NewRNG(57))
+	cache := m.BuildKVCache([]int{1, 2, 3, 4})
+	before := cache.Layers[0].K.Clone()
+	m.NextTokenLogitsWithCache(cache, []int{5, 6})
+	if !cache.Layers[0].K.Equal(before) {
+		t.Fatal("query mutated the shared cache")
+	}
+	if cache.Len != 4 {
+		t.Fatalf("cache length changed to %d", cache.Len)
+	}
+}

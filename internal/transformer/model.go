@@ -1,0 +1,288 @@
+package transformer
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config describes a transformer model's architecture. Encoder-only models
+// (Causal=false) are used for SFT sentence classification; decoder-only
+// models (Causal=true) are used for ICL text generation.
+type Config struct {
+	// Name identifies the model in the registry (e.g. "bert-base-uncased").
+	Name string
+	// VocabSize is the tokenizer vocabulary size.
+	VocabSize int
+	// MaxSeqLen bounds sequence length (positional embedding table size).
+	MaxSeqLen int
+	// DModel is the residual stream width.
+	DModel int
+	// NumHeads is the number of attention heads.
+	NumHeads int
+	// NumLayers is the number of transformer blocks.
+	NumLayers int
+	// FFNDim is the feed-forward hidden width.
+	FFNDim int
+	// Dropout is the residual dropout probability.
+	Dropout float32
+	// Causal selects decoder-style masked attention.
+	Causal bool
+	// ShareLayers enables ALBERT-style cross-layer parameter sharing: all
+	// NumLayers blocks reuse one set of weights.
+	ShareLayers bool
+	// NumClasses sizes the classification head (2 for normal/abnormal).
+	NumClasses int
+}
+
+// Model is a transformer with a token+position embedding, a stack of blocks,
+// a final layer norm, and two heads: a language-model head (used for MLM/CLM
+// pre-training and ICL generation) and a classification head (used for SFT).
+type Model struct {
+	Config  Config
+	TokEmb  *nn.Embedding
+	PosEmb  *nn.Embedding
+	Blocks  []*Block
+	FinalLN *nn.LayerNorm
+	LMHead  *nn.Linear
+	ClsHead *nn.Linear
+
+	// cached state for backward
+	lastIDs []int
+	lastH   *tensor.Matrix // final hidden states [T, d]
+}
+
+// New constructs a model from cfg with weights initialized from rng.
+func New(cfg Config, rng *tensor.RNG) *Model {
+	if cfg.NumClasses == 0 {
+		cfg.NumClasses = 2
+	}
+	m := &Model{
+		Config:  cfg,
+		TokEmb:  nn.NewEmbedding(cfg.Name+".tok_emb", cfg.VocabSize, cfg.DModel, rng),
+		PosEmb:  nn.NewEmbedding(cfg.Name+".pos_emb", cfg.MaxSeqLen, cfg.DModel, rng),
+		FinalLN: nn.NewLayerNorm(cfg.Name+".final_ln", cfg.DModel),
+		LMHead:  nn.NewLinear(cfg.Name+".lm_head", cfg.DModel, cfg.VocabSize, rng),
+		ClsHead: nn.NewLinear(cfg.Name+".cls_head", cfg.DModel, cfg.NumClasses, rng),
+	}
+	if cfg.ShareLayers {
+		base := NewBlock(fmt.Sprintf("%s.block", cfg.Name), cfg.DModel, cfg.NumHeads, cfg.FFNDim, cfg.Causal, cfg.Dropout, rng)
+		m.Blocks = append(m.Blocks, base)
+		for i := 1; i < cfg.NumLayers; i++ {
+			m.Blocks = append(m.Blocks, base.SharedCopy(rng))
+		}
+	} else {
+		for i := 0; i < cfg.NumLayers; i++ {
+			m.Blocks = append(m.Blocks, NewBlock(fmt.Sprintf("%s.block%d", cfg.Name, i), cfg.DModel, cfg.NumHeads, cfg.FFNDim, cfg.Causal, cfg.Dropout, rng))
+		}
+	}
+	return m
+}
+
+// Encode embeds ids and runs the block stack, returning final hidden states
+// [T, dModel]. Sequences longer than MaxSeqLen are truncated (keeping the
+// head, which holds the classification token and earliest features).
+func (m *Model) Encode(ids []int, train bool) *tensor.Matrix {
+	if len(ids) == 0 {
+		panic("transformer: Encode on empty sequence")
+	}
+	if len(ids) > m.Config.MaxSeqLen {
+		ids = ids[:m.Config.MaxSeqLen]
+	}
+	pos := make([]int, len(ids))
+	for i := range pos {
+		pos[i] = i
+	}
+	h := m.TokEmb.Forward(ids)
+	pe := m.PosEmb.Forward(pos)
+	h = tensor.Add(nil, h, pe)
+	for _, b := range m.Blocks {
+		h = b.Forward(h, train)
+	}
+	h = m.FinalLN.Forward(h, train)
+	m.lastIDs = ids
+	m.lastH = h
+	return h
+}
+
+// backbone backward: propagates dh [T,d] through final LN, blocks, and the
+// embeddings.
+func (m *Model) backwardBackbone(dh *tensor.Matrix) {
+	dh = m.FinalLN.Backward(dh)
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		dh = m.Blocks[i].Backward(dh)
+	}
+	// Token and positional embeddings both received the same upstream grad.
+	m.TokEmb.Backward(dh)
+	m.PosEmb.Backward(dh)
+	m.lastIDs, m.lastH = nil, nil
+}
+
+// ForwardLM returns next-token/MLM logits [T, vocab] over the sequence.
+func (m *Model) ForwardLM(ids []int, train bool) *tensor.Matrix {
+	h := m.Encode(ids, train)
+	return m.LMHead.Forward(h, train)
+}
+
+// BackwardLM propagates dlogits [T, vocab] through the LM head and backbone.
+func (m *Model) BackwardLM(dlogits *tensor.Matrix) {
+	dh := m.LMHead.Backward(dlogits)
+	m.backwardBackbone(dh)
+}
+
+// ForwardCls returns classification logits [1, NumClasses]. Encoders use
+// mean pooling over all positions — unlike [CLS] pooling, the mean carries
+// signal even when the backbone is frozen after MLM-only pre-training (our
+// pre-training has no next-sentence task to give [CLS] meaning). Decoders
+// pool the last position, the only one that has seen the whole sequence
+// under causal masking.
+func (m *Model) ForwardCls(ids []int, train bool) *tensor.Matrix {
+	h := m.Encode(ids, train)
+	pooled := tensor.New(1, m.Config.DModel)
+	if m.Config.Causal {
+		copy(pooled.Data, h.Row(h.Rows-1))
+	} else {
+		inv := 1 / float32(h.Rows)
+		for i := 0; i < h.Rows; i++ {
+			row := h.Row(i)
+			for j, v := range row {
+				pooled.Data[j] += v * inv
+			}
+		}
+	}
+	return m.ClsHead.Forward(pooled, train)
+}
+
+// BackwardCls propagates dlogits [1, NumClasses] back through the pooling
+// and the backbone.
+func (m *Model) BackwardCls(dlogits *tensor.Matrix) {
+	if m.lastH == nil {
+		panic("transformer: BackwardCls before ForwardCls")
+	}
+	dPooled := m.ClsHead.Backward(dlogits)
+	dh := tensor.New(m.lastH.Rows, m.lastH.Cols)
+	if m.Config.Causal {
+		copy(dh.Row(dh.Rows-1), dPooled.Row(0))
+	} else {
+		inv := 1 / float32(dh.Rows)
+		src := dPooled.Row(0)
+		for i := 0; i < dh.Rows; i++ {
+			row := dh.Row(i)
+			for j, v := range src {
+				row[j] = v * inv
+			}
+		}
+	}
+	m.backwardBackbone(dh)
+}
+
+// Pooled returns the pooled representation ForwardCls feeds the
+// classification head (mean over positions for encoders, last position for
+// decoders), without running the head. Used to cache frozen-backbone
+// features for fast head-only training.
+func (m *Model) Pooled(ids []int) []float32 {
+	h := m.Encode(ids, false)
+	out := make([]float32, m.Config.DModel)
+	if m.Config.Causal {
+		copy(out, h.Row(h.Rows-1))
+	} else {
+		inv := 1 / float32(h.Rows)
+		for i := 0; i < h.Rows; i++ {
+			for j, v := range h.Row(i) {
+				out[j] += v * inv
+			}
+		}
+	}
+	m.lastIDs, m.lastH = nil, nil
+	return out
+}
+
+// Params returns all parameters: backbone, LM head, and classification head.
+// Shared (ALBERT) blocks contribute their parameters once.
+func (m *Model) Params() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, m.TokEmb.Params()...)
+	out = append(out, m.PosEmb.Params()...)
+	seen := make(map[*nn.Param]bool)
+	for _, b := range m.Blocks {
+		for _, p := range b.Params() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	out = append(out, m.FinalLN.Params()...)
+	out = append(out, m.LMHead.Params()...)
+	out = append(out, m.ClsHead.Params()...)
+	return out
+}
+
+// ParamCount returns the total number of scalar parameters (shared layers
+// counted once, as ALBERT reports them).
+func (m *Model) ParamCount() int { return nn.ParamCount(m.Params()) }
+
+// FreezeBackbone freezes everything except the classification head. This is
+// the "Linear" training strategy of Table II: only the last linear layer is
+// updated, which prevents catastrophic forgetting of earlier tasks.
+func (m *Model) FreezeBackbone() {
+	nn.FreezeAll(m.Params(), true)
+	nn.FreezeAll(m.ClsHead.Params(), false)
+}
+
+// Unfreeze makes every parameter trainable again.
+func (m *Model) Unfreeze() { nn.FreezeAll(m.Params(), false) }
+
+// linears returns every Linear in the model, including those inside
+// attention layers (for quantization sweeps). LoRA-wrapped projections are
+// skipped — their bases are already frozen.
+func (m *Model) linears() []*nn.Linear {
+	var out []*nn.Linear
+	for _, b := range m.Blocks {
+		for _, l := range []interface{}{b.Attn.Wq, b.Attn.Wk, b.Attn.Wv, b.Attn.Wo} {
+			if lin, ok := l.(*nn.Linear); ok {
+				out = append(out, lin)
+			}
+		}
+		out = append(out, b.FF1, b.FF2)
+	}
+	out = append(out, m.LMHead)
+	return out
+}
+
+// Quantize4Bit applies block-wise 4-bit quantization to every linear layer
+// (attention projections, FFN, LM head), replacing weights with their
+// dequantized reconstruction and freezing them. It returns the total
+// quantized and original byte counts — the memory-saving figure the paper
+// attributes to BitsAndBytes.
+func (m *Model) Quantize4Bit() (quantBytes, fp32Bytes int) {
+	if m.Config.ShareLayers {
+		// Quantizing shared blocks repeatedly would re-quantize the same
+		// weights; quantize block 0 only.
+		panic("transformer: quantization of shared-layer models not supported")
+	}
+	for _, lin := range m.linears() {
+		q, _ := nn.QuantizeLinear(lin, nn.DefaultQuantBlock)
+		quantBytes += q.MemoryBytes()
+		fp32Bytes += q.Float32Bytes()
+	}
+	return quantBytes, fp32Bytes
+}
+
+// ApplyLoRA wraps the query and value projections of every block with
+// rank-r LoRA adapters (the standard LoRA target set), freezing all other
+// parameters. Returns the trainable and total parameter counts, which Table
+// III reports as "LoRA param (%)".
+func (m *Model) ApplyLoRA(rank int, alpha float64, dropout float32, rng *tensor.RNG) (trainable, total int) {
+	if m.Config.ShareLayers {
+		panic("transformer: LoRA on shared-layer models not supported")
+	}
+	nn.FreezeAll(m.Params(), true)
+	for _, b := range m.Blocks {
+		b.Attn.Wq = nn.NewLoRA(b.Attn.Wq.(*nn.Linear), rank, alpha, dropout, rng)
+		b.Attn.Wv = nn.NewLoRA(b.Attn.Wv.(*nn.Linear), rank, alpha, dropout, rng)
+	}
+	ps := m.Params()
+	return nn.TrainableCount(ps), nn.ParamCount(ps)
+}

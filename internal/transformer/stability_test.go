@@ -1,0 +1,124 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// isFinite checks every element of a matrix.
+func isFinite(m *tensor.Matrix) bool {
+	for _, v := range m.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestModelFiniteUnderExtremeEmbeddings injects huge values into the
+// embedding table and checks layer norm keeps the forward pass finite —
+// failure-injection for numerical robustness.
+func TestModelFiniteUnderExtremeEmbeddings(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(71))
+	for i := range m.TokEmb.Table.W.Data {
+		m.TokEmb.Table.W.Data[i] *= 1e6
+	}
+	logits := m.ForwardCls([]int{1, 2, 3, 4}, false)
+	if !isFinite(logits) {
+		t.Fatal("extreme embeddings produced non-finite logits")
+	}
+}
+
+// TestTrainingSurvivesOutlierGradients drives a training step with an
+// extreme loss gradient through clipping and checks weights stay finite.
+func TestTrainingSurvivesOutlierGradients(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(72))
+	opt := nn.NewAdamW(1e-3, 0.01)
+	params := m.Params()
+	logits := m.ForwardCls([]int{1, 2, 3}, true)
+	grad := tensor.New(logits.Rows, logits.Cols)
+	grad.Fill(1e8) // absurd upstream gradient
+	m.BackwardCls(grad)
+	nn.ClipGradNorm(params, 1.0)
+	opt.Step(params)
+	for _, p := range params {
+		if !isFinite(p.W) {
+			t.Fatalf("param %s became non-finite", p.Name)
+		}
+	}
+	// The model must still produce finite outputs afterwards.
+	if !isFinite(m.ForwardCls([]int{1, 2, 3}, false)) {
+		t.Fatal("model broken after outlier gradient step")
+	}
+}
+
+// Property: classification probabilities are a valid distribution for
+// arbitrary token sequences.
+func TestClsLogitsFiniteProperty(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(73))
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(m.Config.MaxSeqLen+10) // may exceed MaxSeqLen (truncation path)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = rng.Intn(m.Config.VocabSize)
+		}
+		logits := m.ForwardCls(ids, false)
+		return isFinite(logits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation never emits out-of-vocabulary ids and respects
+// MaxNewTokens for arbitrary prompts.
+func TestGenerateBoundsProperty(t *testing.T) {
+	m := New(smallConfig(true), tensor.NewRNG(74))
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(8)
+		prompt := make([]int, n)
+		for i := range prompt {
+			prompt[i] = rng.Intn(m.Config.VocabSize)
+		}
+		maxNew := 1 + rng.Intn(6)
+		out := m.Generate(prompt, GenerateOptions{MaxNewTokens: maxNew, Temperature: 0.8, RNG: rng})
+		if len(out) > maxNew {
+			return false
+		}
+		for _, tok := range out {
+			if tok < 0 || tok >= m.Config.VocabSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizerZeroGradientNoop: stepping with zero gradients must not move
+// SGD weights, and AdamW must keep them finite (weight decay may move them).
+func TestOptimizerZeroGradientNoop(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(75))
+	params := m.Params()
+	before := m.TokEmb.Table.W.Clone()
+	nn.NewSGD(0.1, 0.9).Step(params)
+	if !m.TokEmb.Table.W.Equal(before) {
+		t.Fatal("SGD moved weights with zero gradients")
+	}
+	nn.NewAdamW(0.1, 0).Step(params)
+	if !m.TokEmb.Table.W.Equal(before) {
+		t.Fatal("AdamW (no weight decay) moved weights with zero gradients")
+	}
+	if nn.ClipGradNorm(params, 1.0) != 0 {
+		t.Fatal("zero gradients have nonzero norm")
+	}
+}
