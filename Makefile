@@ -1,0 +1,26 @@
+# CI-style entry points. `make check` is the full gate: formatting, vet,
+# build, tests — the tier-1 verify plus hygiene.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

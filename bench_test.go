@@ -12,7 +12,9 @@ package repro
 import (
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flowbench"
 	"repro/internal/icl"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pretrain"
+	"repro/internal/prompt"
 	"repro/internal/sft"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
@@ -201,6 +204,146 @@ func BenchmarkICLClassify(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.ClassifyJob(ds.Test[i%len(ds.Test)], exs)
+	}
+}
+
+// Batched-inference benchmarks — the serving-path speedup of the coalescing
+// layer. Each Sequential/Batch pair classifies the same sentences per
+// iteration, so ns/op is directly comparable; the batched path should win by
+// a growing margin from batch size 8 up.
+
+var (
+	batchBenchOnce      sync.Once
+	batchBenchClf       *sft.Classifier
+	batchBenchSentences []string
+)
+
+// batchBench shares one (untrained) classifier and sentence pool across the
+// batching benchmarks; weights don't affect throughput, so training time is
+// skipped.
+func batchBench() (*sft.Classifier, []string) {
+	batchBenchOnce.Do(func() {
+		ds := flowbench.Generate(flowbench.Genome, 1).Subsample(200, 0, 64, 1)
+		corpus := logparse.Corpus(append(append([]flowbench.Job{}, ds.Train...), ds.Test...))
+		tok := tokenizer.Build(corpus)
+		m := models.MustGet("distilbert-base-uncased").Build(tok.VocabSize())
+		batchBenchClf = sft.NewClassifier(m, tok)
+		for _, j := range ds.Test {
+			batchBenchSentences = append(batchBenchSentences, logparse.Sentence(j))
+		}
+	})
+	return batchBenchClf, batchBenchSentences
+}
+
+func benchmarkPredictSequential(b *testing.B, n int) {
+	c, sentences := batchBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sentences[:n] {
+			c.Predict(s)
+		}
+	}
+}
+
+func benchmarkPredictBatch(b *testing.B, n int) {
+	c, sentences := batchBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PredictBatch(sentences[:n])
+	}
+}
+
+func BenchmarkSFTPredictSequential8(b *testing.B)  { benchmarkPredictSequential(b, 8) }
+func BenchmarkSFTPredictBatch8(b *testing.B)       { benchmarkPredictBatch(b, 8) }
+func BenchmarkSFTPredictSequential32(b *testing.B) { benchmarkPredictSequential(b, 32) }
+func BenchmarkSFTPredictBatch32(b *testing.B)      { benchmarkPredictBatch(b, 32) }
+
+func BenchmarkICLClassifySequential8(b *testing.B) {
+	d, exs, queries := iclBatchBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			d.Classify(q, exs)
+		}
+	}
+}
+
+func BenchmarkICLClassifyBatch8(b *testing.B) {
+	d, exs, queries := iclBatchBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ClassifyBatch(queries, exs)
+	}
+}
+
+var (
+	iclBenchOnce    sync.Once
+	iclBenchDet     *icl.Detector
+	iclBenchExs     []prompt.Example
+	iclBenchQueries []string
+)
+
+func iclBatchBench() (*icl.Detector, []prompt.Example, []string) {
+	iclBenchOnce.Do(func() {
+		ds := flowbench.Generate(flowbench.Genome, 1).Subsample(200, 0, 8, 1)
+		corpus := pretrain.BuildCorpus(pretrain.CorpusOptions{
+			SentencesPerWorkflow: 50, ICLDocs: 20, ExamplesPerDoc: 3, Seed: 1,
+		})
+		corpus = append(corpus, logparse.Corpus(ds.Train)...)
+		tok := tokenizer.Build(corpus)
+		iclBenchDet = icl.NewDetector(models.MustGet("gpt2").Build(tok.VocabSize()), tok)
+		iclBenchExs = icl.PromptExamples(icl.SelectExamples(ds.Train, 5, icl.Mixed, 1))
+		for _, j := range ds.Test {
+			iclBenchQueries = append(iclBenchQueries, logparse.Sentence(j))
+		}
+	})
+	return iclBenchDet, iclBenchExs, iclBenchQueries
+}
+
+// BenchmarkServerDirect and BenchmarkServerCoalesced measure one detection
+// through, respectively, the uncoalesced per-sentence path and the full
+// micro-batching layer under 8-way simulated client concurrency.
+
+func BenchmarkServerDirect(b *testing.B) {
+	c, sentences := batchBench()
+	det := core.NewSFTDetector(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.DetectSentence(sentences[i%len(sentences)])
+	}
+}
+
+func BenchmarkServerCoalesced(b *testing.B) {
+	c, sentences := batchBench()
+	det := core.NewSFTDetector(c)
+	s := core.NewServerWith(det, core.BatchConfig{
+		MaxBatch: 32, FlushDelay: time.Millisecond, Workers: 2,
+	})
+	defer s.Close()
+	b.SetParallelism(8) // simulate concurrent clients so requests coalesce
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Detect([]string{sentences[i%len(sentences)]}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkMatMulBlockedTall(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	x := tensor.New(512, 128) // a packed 8×64-token batch at dModel 128
+	w := tensor.New(128, 128)
+	tensor.Gaussian(x, 1, rng)
+	tensor.Gaussian(w, 1, rng)
+	dst := tensor.New(512, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulBlocked(dst, x, w)
 	}
 }
 

@@ -8,6 +8,9 @@
 //	POST /v1/detect        {"sentence": "wms_delay is 6.0 ..."} or {"log_line": "wf=... runtime=..."}
 //	POST /v1/detect/batch  {"sentences": [...]}
 //	GET  /healthz
+//
+// Concurrent requests are micro-batched through a coalescing worker pool;
+// -max-batch, -flush, and -workers tune it (see docs/API.md).
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/flowbench"
@@ -31,6 +35,9 @@ func main() {
 		preSteps = flag.Int("pretrain", 400, "pre-training steps")
 		debias   = flag.Bool("debias", true, "apply the empty-sentence debiasing augmentation")
 		seed     = flag.Uint64("seed", 42, "seed")
+		maxBatch = flag.Int("max-batch", 32, "max sentences per batched model invocation")
+		flush    = flag.Duration("flush", 2*time.Millisecond, "coalescing flush deadline for partial batches (0 = flush when idle)")
+		workers  = flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -49,8 +56,12 @@ func main() {
 		log.Fatal("anomalyd: ", err)
 	}
 	log.Printf("detector ready: %d params, held-out %s", report.Params, report.Test)
-	log.Printf("listening on %s", *addr)
-	srv := &http.Server{Addr: *addr, Handler: core.NewServer(det)}
+	handler := core.NewServerWith(det, core.BatchConfig{
+		MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers,
+	})
+	defer handler.Close()
+	log.Printf("listening on %s (max batch %d, flush %s)", *addr, *maxBatch, *flush)
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(fmt.Errorf("anomalyd: %w", err))
 	}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/flowbench"
 	"repro/internal/icl"
@@ -55,6 +56,11 @@ func (r Result) String() string {
 type Detector interface {
 	// DetectSentence classifies a parsed feature sentence (Fig 2 format).
 	DetectSentence(sentence string) Result
+	// DetectBatch classifies a batch of sentences in one packed forward
+	// pass, returning results in input order. The batched path reads the
+	// model without mutating layer state, so DetectBatch is safe to call
+	// from concurrent goroutines (DetectSentence is not).
+	DetectBatch(sentences []string) []Result
 	// DetectJob classifies a job record.
 	DetectJob(j flowbench.Job) Result
 	// Approach identifies the underlying method.
@@ -74,16 +80,30 @@ func (d *sftDetector) DetectSentence(sentence string) Result {
 	return Result{Label: label, Score: float64(probs[1])}
 }
 
+func (d *sftDetector) DetectBatch(sentences []string) []Result {
+	labels, probs := d.clf.PredictBatch(sentences)
+	out := make([]Result, len(labels))
+	for i := range labels {
+		out[i] = Result{Label: labels[i], Score: float64(probs[i][1])}
+	}
+	return out
+}
+
 func (d *sftDetector) DetectJob(j flowbench.Job) Result {
 	return d.DetectSentence(logparse.Sentence(j))
 }
 
 func (d *sftDetector) Approach() Approach { return SFT }
 
-// iclDetector adapts an icl.Detector with a fixed few-shot context.
+// iclDetector adapts an icl.Detector with a fixed few-shot context. The
+// context's KV cache is built lazily on first batched use and shared by all
+// subsequent (possibly concurrent) DetectBatch calls.
 type iclDetector struct {
 	det      *icl.Detector
 	examples []prompt.Example
+
+	cacheOnce sync.Once
+	cache     *icl.PromptCache
 }
 
 // NewICLDetector wraps a prompted decoder as a Detector with the given
@@ -95,6 +115,16 @@ func NewICLDetector(det *icl.Detector, examples []prompt.Example) Detector {
 func (d *iclDetector) DetectSentence(sentence string) Result {
 	label, probs := d.det.Classify(sentence, d.examples)
 	return Result{Label: label, Score: float64(probs[1])}
+}
+
+func (d *iclDetector) DetectBatch(sentences []string) []Result {
+	d.cacheOnce.Do(func() { d.cache = d.det.NewPromptCache(d.examples) })
+	labels, probs := d.det.ClassifyBatchCached(d.cache, sentences)
+	out := make([]Result, len(labels))
+	for i := range labels {
+		out[i] = Result{Label: labels[i], Score: float64(probs[i][1])}
+	}
+	return out
 }
 
 func (d *iclDetector) DetectJob(j flowbench.Job) Result {

@@ -2,8 +2,12 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/logparse"
 )
@@ -34,6 +38,52 @@ type BatchResponse struct {
 	Results []DetectResponse `json:"results"`
 }
 
+// BatchConfig tunes the server's request-coalescing layer.
+type BatchConfig struct {
+	// MaxBatch caps the number of sentences per model invocation
+	// (default 32).
+	MaxBatch int
+	// FlushDelay is how long a worker holding a partial batch waits for
+	// more requests before running it. Zero or negative flushes as soon as
+	// the queue is empty (DefaultBatchConfig uses 2ms).
+	FlushDelay time.Duration
+	// Workers is the number of concurrent inference workers (default
+	// GOMAXPROCS). The batched detection path is read-only on the model,
+	// so workers run in parallel on one detector.
+	Workers int
+	// QueueDepth bounds queued jobs before enqueueing blocks (default 256).
+	QueueDepth int
+}
+
+// DefaultBatchConfig is the serving recipe used by NewServer: batches of up
+// to 32 coalesced within a 2ms window across GOMAXPROCS workers.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{MaxBatch: 32, FlushDelay: 2 * time.Millisecond}
+}
+
+func (c *BatchConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+}
+
+// ErrServerClosed is returned by Detect after Close.
+var ErrServerClosed = errors.New("core: server closed")
+
+// detectJob is one coalescable unit of work: the sentences of a single HTTP
+// request (or programmatic Detect call) and the slot their results land in.
+type detectJob struct {
+	sentences []string
+	results   []Result
+	done      chan struct{}
+}
+
 // Server exposes a Detector over HTTP:
 //
 //	POST /v1/detect        {"sentence": "..."} or {"log_line": "..."}
@@ -43,18 +93,163 @@ type BatchResponse struct {
 // This is the deployment story the paper motivates: system administrators
 // point their workflow logs at a running service instead of standing up an
 // ML pipeline.
+//
+// Requests are micro-batched: handlers enqueue their sentences on a shared
+// queue; a single dispatcher goroutine coalesces concurrent requests into
+// batches of up to MaxBatch sentences (waiting up to FlushDelay to fill a
+// partial batch) and hands each batch to a pool of inference workers. The
+// dispatcher/worker split means coalescing engages for any burst of two or
+// more in-flight requests, regardless of the worker count; under concurrent
+// load many single-sentence forward passes become a few batched ones while
+// preserving per-request result order.
 type Server struct {
-	det Detector
-	mux *http.ServeMux
+	det     Detector
+	mux     *http.ServeMux
+	cfg     BatchConfig
+	jobs    chan *detectJob
+	batches chan []*detectJob
+
+	mu     sync.RWMutex // guards closed vs. enqueue
+	closed bool
+	wg     sync.WaitGroup
 }
 
-// NewServer wraps a detector in an HTTP handler.
-func NewServer(det Detector) *Server {
-	s := &Server{det: det, mux: http.NewServeMux()}
+// NewServer wraps a detector in an HTTP handler with the default batching
+// configuration.
+func NewServer(det Detector) *Server { return NewServerWith(det, DefaultBatchConfig()) }
+
+// NewServerWith wraps a detector with an explicit batching configuration and
+// starts the inference workers. Call Close to stop them.
+func NewServerWith(det Detector, cfg BatchConfig) *Server {
+	cfg.fill()
+	s := &Server{
+		det:     det,
+		mux:     http.NewServeMux(),
+		cfg:     cfg,
+		jobs:    make(chan *detectJob, cfg.QueueDepth),
+		batches: make(chan []*detectJob, cfg.Workers),
+	}
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/detect/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.wg.Add(1)
+	go s.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	return s
+}
+
+// Close drains queued requests, stops the inference workers, and fails
+// subsequent Detect calls with ErrServerClosed. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Detect classifies sentences through the coalescing layer, blocking until
+// their results are ready (in input order). It is the programmatic form of
+// the HTTP endpoints and is safe for concurrent use.
+func (s *Server) Detect(sentences []string) ([]Result, error) {
+	if len(sentences) == 0 {
+		return nil, nil
+	}
+	j := &detectJob{sentences: sentences, done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrServerClosed
+	}
+	s.jobs <- j
+	s.mu.RUnlock()
+	<-j.done
+	return j.results, nil
+}
+
+// dispatch is the single batch-forming goroutine: it takes one queued job,
+// coalesces more until the batch is full, the flush deadline passes, or the
+// queue goes idle, then hands the batch to the worker pool. Centralizing
+// batch formation here (rather than in each worker) means two concurrent
+// requests coalesce even when many workers sit idle.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	for job := range s.jobs {
+		batch := []*detectJob{job}
+		n := len(job.sentences)
+		if s.cfg.FlushDelay > 0 {
+			timer := time.NewTimer(s.cfg.FlushDelay)
+		fill:
+			for n < s.cfg.MaxBatch {
+				select {
+				case nj, ok := <-s.jobs:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, nj)
+					n += len(nj.sentences)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for n < s.cfg.MaxBatch {
+				select {
+				case nj, ok := <-s.jobs:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, nj)
+					n += len(nj.sentences)
+				default:
+					break drain
+				}
+			}
+		}
+		s.batches <- batch
+	}
+}
+
+// worker executes dispatched batches through the detector.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for batch := range s.batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch classifies the coalesced sentences in MaxBatch-sized chunks and
+// hands each job its slice of the results, preserving input order.
+func (s *Server) runBatch(batch []*detectJob) {
+	total := 0
+	for _, j := range batch {
+		total += len(j.sentences)
+	}
+	all := make([]string, 0, total)
+	for _, j := range batch {
+		all = append(all, j.sentences...)
+	}
+	results := make([]Result, 0, total)
+	for lo := 0; lo < len(all); lo += s.cfg.MaxBatch {
+		hi := min(lo+s.cfg.MaxBatch, len(all))
+		results = append(results, s.det.DetectBatch(all[lo:hi])...)
+	}
+	off := 0
+	for _, j := range batch {
+		j.results = results[off : off+len(j.sentences)]
+		off += len(j.sentences)
+		close(j.done)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -62,7 +257,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","approach":%q}`, s.det.Approach())
+	fmt.Fprintf(w, `{"status":"ok","approach":%q,"max_batch":%d,"workers":%d}`,
+		s.det.Approach(), s.cfg.MaxBatch, s.cfg.Workers)
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -92,7 +288,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "set exactly one of sentence or log_line", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, toResponse(s.det.DetectSentence(sentence)))
+	results, err := s.Detect([]string{sentence})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, toResponse(results[0]))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -105,9 +306,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := BatchResponse{Results: make([]DetectResponse, len(req.Sentences))}
-	for i, sentence := range req.Sentences {
-		resp.Results[i] = toResponse(s.det.DetectSentence(sentence))
+	results, err := s.Detect(req.Sentences)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp := BatchResponse{Results: make([]DetectResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = toResponse(res)
 	}
 	writeJSON(w, resp)
 }

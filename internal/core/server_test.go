@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/logparse"
+)
+
+// TestDetectBatchMatchesSequential pins the batched detector path to the
+// per-sentence path: same labels, same scores, input order preserved.
+func TestDetectBatchMatchesSequential(t *testing.T) {
+	det, ds := detector(t)
+	sentences := make([]string, 16)
+	for i := range sentences {
+		sentences[i] = logparse.Sentence(ds.Test[i])
+	}
+	got := det.DetectBatch(sentences)
+	if len(got) != len(sentences) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(sentences))
+	}
+	for i, s := range sentences {
+		want := det.DetectSentence(s)
+		if got[i].Label != want.Label {
+			t.Fatalf("sentence %d: batch label %d vs sequential %d", i, got[i].Label, want.Label)
+		}
+		if math.Abs(got[i].Score-want.Score) > 1e-5 {
+			t.Fatalf("sentence %d: batch score %v vs sequential %v", i, got[i].Score, want.Score)
+		}
+	}
+	if res := det.DetectBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+// TestServerBatchOrdering posts a batch larger than MaxBatch and checks the
+// results come back in input order, matching the sequential classification
+// of each sentence.
+func TestServerBatchOrdering(t *testing.T) {
+	det, ds := detector(t)
+	s := NewServerWith(det, BatchConfig{MaxBatch: 4, FlushDelay: time.Millisecond, Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	sentences := make([]string, 10)
+	want := make([]Result, 10)
+	for i := range sentences {
+		sentences[i] = logparse.Sentence(ds.Test[i])
+		want[i] = det.DetectSentence(sentences[i])
+	}
+	body, _ := json.Marshal(BatchRequest{Sentences: sentences})
+	resp, err := http.Post(srv.URL+"/v1/detect/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(sentences) {
+		t.Fatalf("results = %d, want %d", len(out.Results), len(sentences))
+	}
+	for i, r := range out.Results {
+		if r.Label != want[i].Label {
+			t.Fatalf("result %d out of order: label %d, want %d", i, r.Label, want[i].Label)
+		}
+	}
+}
+
+// TestServerCoalescedConcurrency fires concurrent single-sentence requests
+// through the coalescing layer and checks every response against the
+// sequential reference — correctness must not depend on how requests are
+// micro-batched together.
+func TestServerCoalescedConcurrency(t *testing.T) {
+	det, ds := detector(t)
+	s := NewServerWith(det, BatchConfig{MaxBatch: 8, FlushDelay: 2 * time.Millisecond, Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const n = 24
+	sentences := make([]string, n)
+	want := make([]Result, n)
+	for i := range sentences {
+		sentences[i] = logparse.Sentence(ds.Test[i%len(ds.Test)])
+		want[i] = det.DetectSentence(sentences[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(DetectRequest{Sentence: sentences[i]})
+			resp, err := http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			var out DetectResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err.Error()
+				return
+			}
+			if out.Label != want[i].Label || math.Abs(out.Score-want[i].Score) > 1e-5 {
+				errs <- "coalesced response does not match sequential reference"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestServerBatchErrors covers the batch endpoint's error and edge paths.
+func TestServerBatchErrors(t *testing.T) {
+	det, _ := detector(t)
+	s := NewServer(det)
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// GET: method not allowed.
+	resp, _ := http.Get(srv.URL + "/v1/detect/batch")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed JSON.
+	resp, _ = http.Post(srv.URL+"/v1/detect/batch", "application/json", strings.NewReader("{"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-json status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Empty body.
+	resp, _ = http.Post(srv.URL+"/v1/detect/batch", "application/json", strings.NewReader(""))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-body status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Empty sentence list: valid, zero results.
+	resp, _ = http.Post(srv.URL+"/v1/detect/batch", "application/json", strings.NewReader(`{"sentences":[]}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-list status = %d", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 0 {
+		t.Fatalf("empty list returned %d results", len(out.Results))
+	}
+}
+
+// TestServerClose checks shutdown semantics: Close is idempotent, and
+// subsequent requests fail with 503 / ErrServerClosed instead of hanging.
+func TestServerClose(t *testing.T) {
+	det, ds := detector(t)
+	s := NewServer(det)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	sentence := logparse.Sentence(ds.Test[0])
+	if _, err := s.Detect([]string{sentence}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Detect([]string{sentence}); err != ErrServerClosed {
+		t.Fatalf("Detect after Close: err = %v", err)
+	}
+	body, _ := json.Marshal(DetectRequest{Sentence: sentence})
+	resp, err := http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status = %d", resp.StatusCode)
+	}
+}
+
+// TestHealthReportsBatching checks the health endpoint exposes the batching
+// knobs.
+func TestHealthReportsBatching(t *testing.T) {
+	det, _ := detector(t)
+	s := NewServerWith(det, BatchConfig{MaxBatch: 16, Workers: 3})
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status   string `json:"status"`
+		Approach string `json:"approach"`
+		MaxBatch int    `json:"max_batch"`
+		Workers  int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.MaxBatch != 16 || health.Workers != 3 {
+		t.Fatalf("health = %+v", health)
+	}
+}

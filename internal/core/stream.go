@@ -4,6 +4,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/flowbench"
 	"repro/internal/logparse"
@@ -40,31 +44,61 @@ func (v TraceVerdict) Fraction() float64 {
 }
 
 // DetectTraces runs the detector over jobs grouped by trace and applies the
-// policy to each execution, returning verdicts ordered by trace id.
+// policy to each execution, returning verdicts ordered by trace id. Each
+// trace's jobs are classified in one DetectBatch call, and traces are fanned
+// out over a bounded worker pool (DetectBatch is read-only on the model, so
+// workers share the detector safely).
 func DetectTraces(d Detector, jobs []flowbench.Job, policy TracePolicy) []TraceVerdict {
 	byTrace := flowbench.TraceJobs(jobs)
 	ids := make([]int, 0, len(byTrace))
 	for id := range byTrace {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
-			ids[k], ids[k-1] = ids[k-1], ids[k]
+	sort.Ints(ids)
+	out := make([]TraceVerdict, len(ids))
+	verdict := func(i int) {
+		trace := byTrace[ids[i]]
+		sentences := make([]string, len(trace))
+		for k, j := range trace {
+			sentences[k] = logparse.Sentence(j)
 		}
-	}
-	out := make([]TraceVerdict, 0, len(ids))
-	for _, id := range ids {
-		trace := byTrace[id]
-		v := TraceVerdict{TraceID: id, Jobs: len(trace)}
-		for _, j := range trace {
-			if d.DetectJob(j).Abnormal() {
+		v := TraceVerdict{TraceID: ids[i], Jobs: len(trace)}
+		for _, r := range d.DetectBatch(sentences) {
+			if r.Abnormal() {
 				v.Anomalous++
 			}
 		}
 		v.Flagged = v.Anomalous >= policy.MinAnomalous ||
 			(v.Jobs > 0 && v.Fraction() >= policy.MinFraction)
-		out = append(out, v)
+		out[i] = v
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for i := range ids {
+			verdict(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(ids) {
+					return
+				}
+				verdict(i)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

@@ -1,0 +1,63 @@
+package icl
+
+import (
+	"testing"
+
+	"repro/internal/logparse"
+)
+
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	d, ds := testDetector(t)
+	exs := PromptExamples(SelectExamples(ds.Train, 3, Mixed, 5))
+	queries := make([]string, 9)
+	for i := range queries {
+		queries[i] = logparse.Sentence(ds.Test[i])
+	}
+	labels, probs := d.ClassifyBatch(queries, exs)
+	if len(labels) != len(queries) || len(probs) != len(queries) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(labels), len(probs), len(queries))
+	}
+	for i, q := range queries {
+		wantLabel, wantProbs := d.Classify(q, exs)
+		if labels[i] != wantLabel {
+			t.Fatalf("query %d: batch label %d vs sequential %d", i, labels[i], wantLabel)
+		}
+		for k := 0; k < 2; k++ {
+			diff := probs[i][k] - wantProbs[k]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-4 {
+				t.Fatalf("query %d prob %d: batch %v vs sequential %v", i, k, probs[i], wantProbs)
+			}
+		}
+	}
+}
+
+func TestClassifyBatchCachedReuse(t *testing.T) {
+	d, ds := testDetector(t)
+	exs := PromptExamples(SelectExamples(ds.Train, 3, Mixed, 5))
+	queries := make([]string, 6)
+	for i := range queries {
+		queries[i] = logparse.Sentence(ds.Test[i])
+	}
+	pc := d.NewPromptCache(exs)
+	want, _ := d.ClassifyBatch(queries, exs)
+	// The same cache must serve repeated calls with identical results.
+	for rep := 0; rep < 2; rep++ {
+		labels, _ := d.ClassifyBatchCached(pc, queries)
+		for i := range labels {
+			if labels[i] != want[i] {
+				t.Fatalf("rep %d query %d: cached label %d vs fresh %d", rep, i, labels[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClassifyBatchEmpty(t *testing.T) {
+	d, _ := testDetector(t)
+	labels, probs := d.ClassifyBatch(nil, nil)
+	if labels != nil || probs != nil {
+		t.Fatal("empty batch should return nil results")
+	}
+}

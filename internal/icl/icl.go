@@ -127,6 +127,82 @@ func (d *Detector) Classify(query string, examples []prompt.Example) (int, [2]fl
 	return best, [2]float32{probs[0], probs[1]}
 }
 
+// PromptCache holds the read-only KV cache of a fixed few-shot context's
+// query-independent prefix (task description + examples + "instruct :").
+// Build it once with NewPromptCache and reuse it across ClassifyBatchCached
+// calls — including concurrent ones: construction and use touch only model
+// weights and the immutable cache.
+type PromptCache struct {
+	examples []prompt.Example
+	cache    *transformer.KVCache // nil when the prefix alone overflows the context
+	choices  [2]int
+}
+
+// NewPromptCache encodes the query-independent prompt prefix for examples
+// into a reusable KV cache. When the prefix alone exceeds the model's
+// context the cache is empty and classification falls back to full prompts.
+func (d *Detector) NewPromptCache(examples []prompt.Example) *PromptCache {
+	pc := &PromptCache{examples: examples, choices: d.labelChoiceIDs()}
+	prefixIDs := append([]int{tokenizer.BOS}, d.Tok.Encode(prompt.FewShotPrefix(examples), false)...)
+	if len(prefixIDs) < d.Model.Config.MaxSeqLen {
+		pc.cache = d.Model.InferKVCache(prefixIDs)
+	}
+	return pc
+}
+
+// ClassifyBatch classifies a batch of query sentences against one shared
+// few-shot context, returning per-query labels and probability pairs in
+// input order. The prompt prefix is encoded once into a KV cache and only
+// the per-query suffixes run through the block stack as a packed batch; use
+// NewPromptCache + ClassifyBatchCached to amortize the prefix encoding
+// across calls as well. Predictions match Classify on each query; the
+// batched path reads the model without mutating it, so it is safe to call
+// concurrently.
+func (d *Detector) ClassifyBatch(queries []string, examples []prompt.Example) ([]int, [][2]float32) {
+	return d.ClassifyBatchCached(d.NewPromptCache(examples), queries)
+}
+
+// ClassifyBatchCached is ClassifyBatch against a prebuilt prompt cache.
+// Queries whose suffix would overflow the context fall back to the
+// full-prompt batched path (which keeps the right edge, as Classify does).
+func (d *Detector) ClassifyBatchCached(pc *PromptCache, queries []string) ([]int, [][2]float32) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	labels := make([]int, len(queries))
+	out := make([][2]float32, len(queries))
+	var cachedIdx, fullIdx []int
+	var suffixes, fullPrompts [][]int
+	for i, q := range queries {
+		if pc.cache != nil {
+			suffix := d.Tok.Encode(prompt.QuerySuffix(q), false)
+			if len(suffix) > 0 && pc.cache.Len+len(suffix) <= d.Model.Config.MaxSeqLen {
+				cachedIdx = append(cachedIdx, i)
+				suffixes = append(suffixes, suffix)
+				continue
+			}
+		}
+		fullIdx = append(fullIdx, i)
+		p := prompt.FewShot(pc.examples, q)
+		fullPrompts = append(fullPrompts, append([]int{tokenizer.BOS}, d.Tok.Encode(p, false)...))
+	}
+	if len(suffixes) > 0 {
+		best, probs := d.Model.ScoreChoiceBatchWithCache(pc.cache, suffixes, pc.choices[:])
+		for k, i := range cachedIdx {
+			labels[i] = best[k]
+			out[i] = [2]float32{probs[k][0], probs[k][1]}
+		}
+	}
+	if len(fullPrompts) > 0 {
+		best, probs := d.Model.ScoreChoiceBatch(fullPrompts, pc.choices[:])
+		for k, i := range fullIdx {
+			labels[i] = best[k]
+			out[i] = [2]float32{probs[k][0], probs[k][1]}
+		}
+	}
+	return labels, out
+}
+
 // ClassifyJob classifies a job's full sentence.
 func (d *Detector) ClassifyJob(j flowbench.Job, examples []prompt.Example) (int, [2]float32) {
 	return d.Classify(logparse.Sentence(j), examples)

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Read-only inference forward passes.
+//
+// Layer.Forward caches activations on the layer for the backward pass, which
+// makes a model unsafe to share across goroutines even in eval mode. The
+// Infer methods below compute the same eval-mode outputs while reading only
+// the layer's parameters, so a trained model can serve concurrent batched
+// requests (core.Server workers, parallel trace detection) without cloning.
+
+// Inferer is a layer that supports a read-only inference forward pass.
+type Inferer interface {
+	// Infer computes the eval-mode forward pass without mutating the layer.
+	Infer(x *tensor.Matrix) *tensor.Matrix
+}
+
+// Infer dispatches to l's read-only path, falling back to the caching
+// eval-mode Forward for layers that do not implement Inferer (the fallback is
+// not safe for concurrent use).
+func Infer(l Layer, x *tensor.Matrix) *tensor.Matrix {
+	if il, ok := l.(Inferer); ok {
+		return il.Infer(x)
+	}
+	return l.Forward(x, false)
+}
+
+// Infer computes xW + b without caching x. The blocked matmul kernel is used:
+// batched inference feeds tall packed [ΣT, d] inputs where the k-panel
+// schedule keeps the weight matrix hot in cache.
+func (l *Linear) Infer(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.MatMulBlocked(nil, x, l.Weight.W)
+	if l.Bias != nil {
+		y = tensor.AddRowVec(y, y, l.Bias.W.Data)
+	}
+	return y
+}
+
+// Infer computes the base output plus the scaled low-rank correction without
+// caching. Adapter dropout is inference-disabled, matching Forward in eval
+// mode.
+func (l *LoRALinear) Infer(x *tensor.Matrix) *tensor.Matrix {
+	y := l.Base.Infer(x)
+	xa := tensor.MatMulBlocked(nil, x, l.A.W)
+	delta := tensor.MatMulBlocked(nil, xa, l.B.W)
+	tensor.AddScaled(y, delta, l.Scale)
+	return y
+}
+
+// Infer normalizes each row of x without caching normalization state.
+func (ln *LayerNorm) Infer(x *tensor.Matrix) *tensor.Matrix {
+	n, d := x.Rows, x.Cols
+	out := tensor.New(n, d)
+	g, b := ln.Gamma.W.Data, ln.Beta.W.Data
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(d)
+		var varsum float32
+		for _, v := range row {
+			dv := v - mean
+			varsum += dv * dv
+		}
+		inv := 1 / float32(math.Sqrt(float64(varsum/float32(d)+ln.Eps)))
+		or := out.Row(i)
+		for j, v := range row {
+			or[j] = g[j]*(v-mean)*inv + b[j]
+		}
+	}
+	return out
+}
+
+// Infer applies GELU element-wise without caching the input.
+func (g *GELU) Infer(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = geluScalar(v)
+	}
+	return out
+}
+
+// Infer is the identity: dropout is disabled at inference.
+func (d *Dropout) Infer(x *tensor.Matrix) *tensor.Matrix { return x }
+
+// Infer gathers embedding rows for ids without caching them for a backward
+// pass.
+func (e *Embedding) Infer(ids []int) *tensor.Matrix {
+	dim := e.Table.W.Cols
+	out := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		copy(out.Row(i), e.Table.W.Row(id))
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package sft
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logparse"
+)
+
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	c, ds := testSetup(t, 30)
+	texts := make([]string, 0, 12)
+	for _, j := range ds.Test[:11] {
+		texts = append(texts, logparse.Sentence(j))
+	}
+	texts = append(texts, "") // the debias probe sentence must batch too
+	labels, probs := c.PredictBatch(texts)
+	if len(labels) != len(texts) || len(probs) != len(texts) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(labels), len(probs), len(texts))
+	}
+	for i, text := range texts {
+		wantLabel, wantProbs := c.Predict(text)
+		if labels[i] != wantLabel {
+			t.Fatalf("text %d: batch label %d vs sequential %d", i, labels[i], wantLabel)
+		}
+		for k := 0; k < 2; k++ {
+			d := probs[i][k] - wantProbs[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-5 {
+				t.Fatalf("text %d prob %d: batch %v vs sequential %v", i, k, probs[i], wantProbs)
+			}
+		}
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	c, _ := testSetup(t, 5)
+	labels, probs := c.PredictBatch(nil)
+	if labels != nil || probs != nil {
+		t.Fatal("empty batch should return nil results")
+	}
+}
+
+func TestPredictBatchConcurrent(t *testing.T) {
+	c, ds := testSetup(t, 20)
+	texts := make([]string, 8)
+	for i := range texts {
+		texts[i] = logparse.Sentence(ds.Test[i])
+	}
+	wantLabels, _ := c.PredictBatch(texts)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			labels, _ := c.PredictBatch(texts)
+			for i := range labels {
+				if labels[i] != wantLabels[i] {
+					errs <- "concurrent PredictBatch diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

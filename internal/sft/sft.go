@@ -70,6 +70,31 @@ func (c *Classifier) Predict(text string) (int, [2]float32) {
 	return tensor.ArgMax(row), [2]float32{row[0], row[1]}
 }
 
+// PredictBatch classifies a batch of sentences in one packed forward pass,
+// returning per-sentence labels and (normal, abnormal) probability pairs in
+// input order. Predictions match Predict on each sentence; the batched path
+// reads the model without mutating it, so it is safe to call concurrently.
+func (c *Classifier) PredictBatch(texts []string) ([]int, [][2]float32) {
+	if len(texts) == 0 {
+		return nil, nil
+	}
+	seqs := make([][]int, len(texts))
+	for i, t := range texts {
+		seqs[i] = c.Tok.Encode(t, true)
+	}
+	logits := c.Model.ForwardClsBatch(seqs)
+	labels := make([]int, len(texts))
+	probs := make([][2]float32, len(texts))
+	for i := range texts {
+		row := make([]float32, 2)
+		copy(row, logits.Row(i))
+		tensor.Softmax(row)
+		labels[i] = tensor.ArgMax(row)
+		probs[i] = [2]float32{row[0], row[1]}
+	}
+	return labels, probs
+}
+
 // PredictJob classifies a job's full sentence.
 func (c *Classifier) PredictJob(j flowbench.Job) (int, [2]float32) {
 	return c.Predict(logparse.Sentence(j))

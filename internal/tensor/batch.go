@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// Batched-inference kernels.
+//
+// A batch of B sequences with lengths T₀..T_{B-1} over a d-wide feature space
+// is stored as one packed row-major matrix of shape [ΣTᵢ, d] plus an offsets
+// slice of length B+1 (sequence i owns rows [offsets[i], offsets[i+1])). All
+// position-wise operations (linear layers, layer norm, activations) then run
+// as a single kernel call over the packed matrix, which is where batched
+// inference gets its throughput: one large matmul amortizes goroutine fan-out
+// and streams the weight matrix through cache once instead of B times.
+
+// Offsets builds the B+1 prefix-sum offsets slice for sequence lengths lens.
+func Offsets(lens []int) []int {
+	out := make([]int, len(lens)+1)
+	for i, n := range lens {
+		if n < 0 {
+			panic(fmt.Sprintf("tensor: negative segment length %d", n))
+		}
+		out[i+1] = out[i] + n
+	}
+	return out
+}
+
+// RowView returns a matrix aliasing rows [lo, hi) of m — no data is copied,
+// so writes through the view mutate m. Used to address one sequence of a
+// packed batch.
+func (m *Matrix) RowView(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: row view [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// PackRows stacks matrices with a shared column count into one packed matrix,
+// returning it and the segment offsets. The data is copied.
+func PackRows(mats []*Matrix) (*Matrix, []int) {
+	if len(mats) == 0 {
+		return New(0, 0), []int{0}
+	}
+	cols := mats[0].Cols
+	lens := make([]int, len(mats))
+	for i, m := range mats {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("tensor: pack column mismatch %d vs %d", m.Cols, cols))
+		}
+		lens[i] = m.Rows
+	}
+	offsets := Offsets(lens)
+	packed := New(offsets[len(mats)], cols)
+	for i, m := range mats {
+		copy(packed.Data[offsets[i]*cols:], m.Data)
+	}
+	return packed, offsets
+}
+
+// UnpackRows splits a packed matrix back into per-segment views (aliasing,
+// not copying).
+func UnpackRows(packed *Matrix, offsets []int) []*Matrix {
+	out := make([]*Matrix, len(offsets)-1)
+	for i := range out {
+		out[i] = packed.RowView(offsets[i], offsets[i+1])
+	}
+	return out
+}
+
+// matMulBlockK is the panel height (rows of b) of the cache-blocked matmul:
+// a 128-row panel of a 128-wide float32 weight matrix is 64 KiB, sized to
+// stay resident in L1/L2 while every row of the packed batch streams against
+// it.
+const matMulBlockK = 128
+
+// MatMulBlocked computes a×b into dst (allocated if nil) with a k-panel
+// blocked kernel: b is processed in matMulBlockK-row panels that stay hot in
+// cache across all rows of a. For the tall packed matrices of batched
+// inference ([ΣTᵢ, d] against [d, d] weights) this is the cache-friendly
+// schedule; results are bitwise identical to MatMul because each output
+// element still accumulates over k in increasing order.
+func MatMulBlocked(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil {
+		dst = New(a.Rows, b.Cols)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Cols {
+			panic(fmt.Sprintf("tensor: matmul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+		}
+		if dst == a || dst == b {
+			panic("tensor: matmul dst must not alias an input")
+		}
+		dst.Zero()
+	}
+	n, k, p := a.Rows, a.Cols, b.Cols
+	parallelRows(n, k*p, func(lo, hi int) {
+		for k0 := 0; k0 < k; k0 += matMulBlockK {
+			k1 := k0 + matMulBlockK
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				ar := a.Data[i*k : (i+1)*k]
+				dr := dst.Data[i*p : (i+1)*p]
+				for kk := k0; kk < k1; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					br := b.Data[kk*p : (kk+1)*p]
+					for j, bv := range br {
+						dr[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+	return dst
+}

@@ -3,11 +3,12 @@
 // and in-context learning, with hand-written backpropagation on top of
 // internal/nn.
 //
-// Models process one token sequence at a time ([seq, d_model] matrices);
-// mini-batching is done by gradient accumulation in the trainers. At the
-// model sizes used in this reproduction (d_model 32–128), per-sequence
-// processing with parallel matmul kernels is faster than padding-heavy
-// batching and keeps the backward pass straightforward.
+// Training processes one token sequence at a time ([seq, d_model] matrices);
+// mini-batching is done by gradient accumulation in the trainers, which
+// keeps the backward pass straightforward. Inference additionally has a
+// packed batched path (batch.go): B sequences run as one [ΣTᵢ, d_model]
+// matrix through the position-wise layers with per-sequence attention — no
+// padding, read-only on the model, safe for concurrent use.
 package transformer
 
 import (

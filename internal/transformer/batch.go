@@ -1,0 +1,307 @@
+package transformer
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Batched inference.
+//
+// A batch of B token sequences is packed into one [ΣTᵢ, dModel] matrix plus
+// an offsets slice (tensor.Offsets layout). Position-wise layers — the six
+// linear projections per block, layer norms, and activations — then run once
+// over the packed matrix instead of B times, which is where the throughput
+// win over per-sequence forwards comes from; only attention is computed per
+// sequence, since softmax must not mix positions across sequences.
+//
+// The whole path is built on the nn.Inferer read-only forwards: it never
+// touches the layers' backward caches, so one trained model can serve
+// concurrent ForwardClsBatch/NextTokenLogitsBatch calls from many goroutines
+// (the property core.Server's worker pool and core.DetectTraces rely on).
+
+// EncodeBatch embeds each sequence and runs the packed batch through the
+// block stack and final layer norm, returning the packed hidden states
+// [ΣTᵢ, dModel] and the segment offsets. Sequences longer than MaxSeqLen are
+// truncated keeping the head (as Encode does); empty sequences panic.
+func (m *Model) EncodeBatch(seqs [][]int) (*tensor.Matrix, []int) {
+	seqs = append([][]int(nil), seqs...) // truncation must not mutate the caller's batch
+	lens := make([]int, len(seqs))
+	for i, ids := range seqs {
+		if len(ids) == 0 {
+			panic("transformer: EncodeBatch on empty sequence")
+		}
+		if len(ids) > m.Config.MaxSeqLen {
+			ids = ids[:m.Config.MaxSeqLen]
+			seqs[i] = ids
+		}
+		lens[i] = len(ids)
+	}
+	offsets := tensor.Offsets(lens)
+	h := m.embedBatch(seqs, offsets, 0)
+	for _, b := range m.Blocks {
+		h, _ = b.inferBatch(h, offsets, LayerKV{})
+	}
+	return m.FinalLN.Infer(h), offsets
+}
+
+// embedBatch gathers token+position embeddings for the packed batch.
+// Positions restart at posStart for every sequence (posStart is nonzero when
+// the batch continues a cached shared prefix).
+func (m *Model) embedBatch(seqs [][]int, offsets []int, posStart int) *tensor.Matrix {
+	total := offsets[len(offsets)-1]
+	flat := make([]int, 0, total)
+	pos := make([]int, 0, total)
+	for _, ids := range seqs {
+		flat = append(flat, ids...)
+		for p := range ids {
+			pos = append(pos, posStart+p)
+		}
+	}
+	h := m.TokEmb.Infer(flat)
+	pe := m.PosEmb.Infer(pos)
+	return tensor.Add(h, h, pe)
+}
+
+// inferBatch runs the block over a packed batch using read-only forwards,
+// returning the output and the attention layer's packed K/V projections
+// (meaningful for cache construction when the batch is one sequence). When
+// past holds cached keys/values, every sequence in the batch additionally
+// attends over that shared prefix.
+func (b *Block) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV) (*tensor.Matrix, LayerKV) {
+	h := b.LN1.Infer(x)
+	h, kv := b.Attn.inferBatch(h, offsets, past)
+	x1 := tensor.Add(h, x, h)
+
+	h2 := b.LN2.Infer(x1)
+	h2 = b.FF1.Infer(h2)
+	h2 = b.Act.Infer(h2)
+	h2 = b.FF2.Infer(h2)
+	return tensor.Add(h2, x1, h2), kv
+}
+
+// inferBatch computes self-attention over a packed batch: the four
+// projections run on the whole packed matrix, attention scores are formed
+// per sequence so no position attends across a sequence boundary. With a
+// non-empty past (causal models only), every sequence attends the shared
+// cached prefix before its own positions — the batched form of
+// forwardInfer's KV-cache reuse. Returns the packed current K/V projections.
+func (a *MultiHeadAttention) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV) (*tensor.Matrix, LayerKV) {
+	Tp := 0
+	if past.K != nil {
+		if !a.Causal {
+			panic("transformer: past keys require causal attention")
+		}
+		Tp = past.K.Rows
+	}
+	dh := a.DModel / a.NumHeads
+	q := nn.Infer(a.Wq, x)
+	k := nn.Infer(a.Wk, x)
+	v := nn.Infer(a.Wv, x)
+	concat := tensor.New(x.Rows, a.DModel)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for h := 0; h < a.NumHeads; h++ {
+		// The prefix head views are shared by every sequence in the batch.
+		var pkh, pvh *tensor.Matrix
+		if Tp > 0 {
+			pkh = headView(past.K, h, dh)
+			pvh = headView(past.V, h, dh)
+		}
+		for s := 0; s+1 < len(offsets); s++ {
+			lo, hi := offsets[s], offsets[s+1]
+			T := hi - lo
+			qh := headView(q.RowView(lo, hi), h, dh)
+			kh := headView(k.RowView(lo, hi), h, dh)
+			vh := headView(v.RowView(lo, hi), h, dh)
+			// scores over [past | current] keys: [T, Tp+T].
+			scores := tensor.New(T, Tp+T)
+			if Tp > 0 {
+				left := tensor.MatMulT(nil, qh, pkh)
+				for i := 0; i < T; i++ {
+					copy(scores.Row(i)[:Tp], left.Row(i))
+				}
+			}
+			right := tensor.MatMulT(nil, qh, kh)
+			for i := 0; i < T; i++ {
+				row := scores.Row(i)[Tp:]
+				copy(row, right.Row(i))
+				if a.Causal {
+					// All past keys are earlier positions; mask only within
+					// the current chunk.
+					for j := i + 1; j < T; j++ {
+						row[j] = float32(math.Inf(-1))
+					}
+				}
+			}
+			tensor.Scale(scores, scores, scale)
+			tensor.RowSoftmax(scores)
+			// out = probs_past·pastV + probs_cur·curV.
+			out := tensor.New(T, dh)
+			if Tp > 0 {
+				probsPast := tensor.New(T, Tp)
+				for i := 0; i < T; i++ {
+					copy(probsPast.Row(i), scores.Row(i)[:Tp])
+				}
+				tensor.MatMul(out, probsPast, pvh)
+			}
+			probsCur := tensor.New(T, T)
+			for i := 0; i < T; i++ {
+				copy(probsCur.Row(i), scores.Row(i)[Tp:])
+			}
+			cur := tensor.MatMul(nil, probsCur, vh)
+			tensor.AddScaled(out, cur, 1)
+			headStore(concat.RowView(lo, hi), out, h, dh)
+		}
+	}
+	return nn.Infer(a.Wo, concat), LayerKV{K: k, V: v}
+}
+
+// InferKVCache is BuildKVCache on the read-only inference path: it captures
+// each attention layer's keys and values over the prefix without touching
+// any layer's backward caches, so the resulting cache can be built and used
+// while other goroutines run inference on the same model.
+func (m *Model) InferKVCache(prefix []int) *KVCache {
+	if !m.Config.Causal {
+		panic("transformer: KV cache requires a causal model")
+	}
+	if len(prefix) == 0 {
+		panic("transformer: empty prefix")
+	}
+	if len(prefix) > m.Config.MaxSeqLen {
+		panic("transformer: prefix exceeds MaxSeqLen")
+	}
+	offsets := []int{0, len(prefix)}
+	h := m.embedBatch([][]int{prefix}, offsets, 0)
+	cache := &KVCache{Len: len(prefix)}
+	for _, b := range m.Blocks {
+		var kv LayerKV
+		h, kv = b.inferBatch(h, offsets, LayerKV{})
+		cache.Layers = append(cache.Layers, kv)
+	}
+	return cache
+}
+
+// NextTokenLogitsBatchWithCache computes next-token logits [B, VocabSize]
+// for a batch of suffixes that all continue the same cached prefix. Row i
+// matches NextTokenLogitsWithCache(cache, suffixes[i]) — only the suffixes
+// run through the block stack, so a shared few-shot prompt is encoded once
+// per cache instead of once per query. Every suffix must be non-empty and
+// cache.Len+len(suffix) must fit in MaxSeqLen.
+func (m *Model) NextTokenLogitsBatchWithCache(cache *KVCache, suffixes [][]int) *tensor.Matrix {
+	if len(suffixes) == 0 {
+		return tensor.New(0, m.Config.VocabSize)
+	}
+	lens := make([]int, len(suffixes))
+	for i, ids := range suffixes {
+		if len(ids) == 0 {
+			panic("transformer: empty suffix")
+		}
+		if cache.Len+len(ids) > m.Config.MaxSeqLen {
+			panic("transformer: cached sequence exceeds MaxSeqLen")
+		}
+		lens[i] = len(ids)
+	}
+	offsets := tensor.Offsets(lens)
+	h := m.embedBatch(suffixes, offsets, cache.Len)
+	for li, b := range m.Blocks {
+		h, _ = b.inferBatch(h, offsets, cache.Layers[li])
+	}
+	h = m.FinalLN.Infer(h)
+	last := tensor.New(len(suffixes), m.Config.DModel)
+	for s := 0; s+1 < len(offsets); s++ {
+		copy(last.Row(s), h.Row(offsets[s+1]-1))
+	}
+	return m.LMHead.Infer(last)
+}
+
+// ScoreChoiceBatchWithCache is ScoreChoiceWithCache over a batch of suffixes
+// sharing one cached prefix.
+func (m *Model) ScoreChoiceBatchWithCache(cache *KVCache, suffixes [][]int, choices []int) ([]int, [][]float32) {
+	logits := m.NextTokenLogitsBatchWithCache(cache, suffixes)
+	best := make([]int, len(suffixes))
+	probs := make([][]float32, len(suffixes))
+	for i := range suffixes {
+		row := logits.Row(i)
+		sub := make([]float32, len(choices))
+		for c, id := range choices {
+			sub[c] = row[id]
+		}
+		tensor.Softmax(sub)
+		best[i] = tensor.ArgMax(sub)
+		probs[i] = sub
+	}
+	return best, probs
+}
+
+// ForwardClsBatch classifies a batch of sequences in one packed forward pass,
+// returning logits [B, NumClasses]. Row i matches ForwardCls(seqs[i], false)
+// exactly. The classification head runs only on the B pooled vectors.
+func (m *Model) ForwardClsBatch(seqs [][]int) *tensor.Matrix {
+	if len(seqs) == 0 {
+		return tensor.New(0, m.Config.NumClasses)
+	}
+	h, offsets := m.EncodeBatch(seqs)
+	pooled := tensor.New(len(seqs), m.Config.DModel)
+	for s := 0; s+1 < len(offsets); s++ {
+		lo, hi := offsets[s], offsets[s+1]
+		pr := pooled.Row(s)
+		if m.Config.Causal {
+			copy(pr, h.Row(hi-1))
+		} else {
+			inv := 1 / float32(hi-lo)
+			for i := lo; i < hi; i++ {
+				for j, v := range h.Row(i) {
+					pr[j] += v * inv
+				}
+			}
+		}
+	}
+	return m.ClsHead.Infer(pooled)
+}
+
+// NextTokenLogitsBatch returns next-token logits [B, VocabSize] for a batch
+// of prompts. The model must be causal. Prompts longer than MaxSeqLen keep
+// their right edge (as NextTokenLogits does). Unlike the sequential path,
+// the LM head runs only on the B final positions rather than every token.
+func (m *Model) NextTokenLogitsBatch(prompts [][]int) *tensor.Matrix {
+	if !m.Config.Causal {
+		panic("transformer: NextTokenLogitsBatch requires a causal model")
+	}
+	if len(prompts) == 0 {
+		return tensor.New(0, m.Config.VocabSize)
+	}
+	seqs := make([][]int, len(prompts))
+	for i, ids := range prompts {
+		if len(ids) > m.Config.MaxSeqLen {
+			ids = ids[len(ids)-m.Config.MaxSeqLen:]
+		}
+		seqs[i] = ids
+	}
+	h, offsets := m.EncodeBatch(seqs)
+	last := tensor.New(len(seqs), m.Config.DModel)
+	for s := 0; s+1 < len(offsets); s++ {
+		copy(last.Row(s), h.Row(offsets[s+1]-1))
+	}
+	return m.LMHead.Infer(last)
+}
+
+// ScoreChoiceBatch is ScoreChoice over a batch of prompts: for each prompt it
+// returns the index of the highest-logit choice token and the softmax over
+// just those choices.
+func (m *Model) ScoreChoiceBatch(prompts [][]int, choices []int) ([]int, [][]float32) {
+	logits := m.NextTokenLogitsBatch(prompts)
+	best := make([]int, len(prompts))
+	probs := make([][]float32, len(prompts))
+	for i := range prompts {
+		row := logits.Row(i)
+		sub := make([]float32, len(choices))
+		for c, id := range choices {
+			sub[c] = row[id]
+		}
+		tensor.Softmax(sub)
+		best[i] = tensor.ArgMax(sub)
+		probs[i] = sub
+	}
+	return best, probs
+}

@@ -1,0 +1,198 @@
+package transformer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func batchTestModel(causal bool) *Model {
+	cfg := Config{
+		Name: "batch-test", VocabSize: 120, MaxSeqLen: 32, DModel: 32,
+		NumHeads: 4, NumLayers: 2, FFNDim: 64, Causal: causal, NumClasses: 2,
+	}
+	return New(cfg, tensor.NewRNG(7))
+}
+
+func batchTestSeqs(n, vocab, maxLen int, seed uint64) [][]int {
+	rng := tensor.NewRNG(seed)
+	seqs := make([][]int, n)
+	for i := range seqs {
+		T := 1 + rng.Intn(maxLen)
+		ids := make([]int, T)
+		for t := range ids {
+			ids[t] = rng.Intn(vocab)
+		}
+		seqs[i] = ids
+	}
+	return seqs
+}
+
+func TestForwardClsBatchMatchesSequential(t *testing.T) {
+	for _, causal := range []bool{false, true} {
+		m := batchTestModel(causal)
+		seqs := batchTestSeqs(9, m.Config.VocabSize, m.Config.MaxSeqLen, 3)
+		got := m.ForwardClsBatch(seqs)
+		if got.Rows != len(seqs) || got.Cols != m.Config.NumClasses {
+			t.Fatalf("batch logits shape %dx%d", got.Rows, got.Cols)
+		}
+		for i, ids := range seqs {
+			want := m.ForwardCls(ids, false)
+			row := tensor.NewFrom(1, got.Cols, got.Row(i))
+			if !row.AllClose(want, 1e-5) {
+				t.Fatalf("causal=%v seq %d: batch %v vs sequential %v", causal, i, got.Row(i), want.Row(0))
+			}
+		}
+	}
+}
+
+func TestForwardClsBatchTruncatesKeepingHead(t *testing.T) {
+	m := batchTestModel(false)
+	long := make([]int, m.Config.MaxSeqLen+10)
+	for i := range long {
+		long[i] = i % m.Config.VocabSize
+	}
+	batch := [][]int{long}
+	got := m.ForwardClsBatch(batch)
+	want := m.ForwardCls(long, false) // Encode truncates the same way
+	if !tensor.NewFrom(1, got.Cols, got.Row(0)).AllClose(want, 1e-5) {
+		t.Fatal("truncated batch forward differs from sequential")
+	}
+	if len(batch[0]) != m.Config.MaxSeqLen+10 {
+		t.Fatal("EncodeBatch mutated the caller's sequence batch")
+	}
+}
+
+func TestNextTokenLogitsBatchMatchesSequential(t *testing.T) {
+	m := batchTestModel(true)
+	prompts := batchTestSeqs(8, m.Config.VocabSize, m.Config.MaxSeqLen, 5)
+	// Include one over-length prompt: both paths keep the right edge.
+	long := make([]int, m.Config.MaxSeqLen+7)
+	for i := range long {
+		long[i] = (i * 3) % m.Config.VocabSize
+	}
+	prompts = append(prompts, long)
+	logits := m.NextTokenLogitsBatch(prompts)
+	if logits.Rows != len(prompts) || logits.Cols != m.Config.VocabSize {
+		t.Fatalf("batch logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+	for i, p := range prompts {
+		want := m.NextTokenLogits(p)
+		for j, v := range logits.Row(i) {
+			d := v - want[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-5 {
+				t.Fatalf("prompt %d logit %d: batch %v vs sequential %v", i, j, v, want[j])
+			}
+		}
+	}
+}
+
+func TestScoreChoiceBatchMatchesSequential(t *testing.T) {
+	m := batchTestModel(true)
+	prompts := batchTestSeqs(8, m.Config.VocabSize, m.Config.MaxSeqLen, 9)
+	choices := []int{10, 20}
+	best, probs := m.ScoreChoiceBatch(prompts, choices)
+	for i, p := range prompts {
+		wantBest, wantProbs := m.ScoreChoice(p, choices)
+		if best[i] != wantBest {
+			t.Fatalf("prompt %d: batch choice %d vs sequential %d", i, best[i], wantBest)
+		}
+		for c := range choices {
+			d := probs[i][c] - wantProbs[c]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-5 {
+				t.Fatalf("prompt %d choice %d prob mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestInferKVCacheMatchesBuildKVCache(t *testing.T) {
+	m := batchTestModel(true)
+	prefix := batchTestSeqs(1, m.Config.VocabSize, m.Config.MaxSeqLen/2, 13)[0]
+	want := m.BuildKVCache(prefix)
+	got := m.InferKVCache(prefix)
+	if got.Len != want.Len || len(got.Layers) != len(want.Layers) {
+		t.Fatalf("cache shape: len %d/%d layers %d/%d", got.Len, want.Len, len(got.Layers), len(want.Layers))
+	}
+	for li := range want.Layers {
+		if !got.Layers[li].K.AllClose(want.Layers[li].K, 1e-5) ||
+			!got.Layers[li].V.AllClose(want.Layers[li].V, 1e-5) {
+			t.Fatalf("layer %d cache differs between read-only and caching builders", li)
+		}
+	}
+}
+
+func TestNextTokenLogitsBatchWithCacheMatchesSequential(t *testing.T) {
+	m := batchTestModel(true)
+	prefix := batchTestSeqs(1, m.Config.VocabSize, m.Config.MaxSeqLen/2, 17)[0]
+	suffixes := batchTestSeqs(6, m.Config.VocabSize, m.Config.MaxSeqLen-len(prefix), 19)
+	cache := m.InferKVCache(prefix)
+	logits := m.NextTokenLogitsBatchWithCache(cache, suffixes)
+	if logits.Rows != len(suffixes) {
+		t.Fatalf("rows = %d", logits.Rows)
+	}
+	for i, suffix := range suffixes {
+		// Reference 1: the sequential cached path.
+		cached := m.NextTokenLogitsWithCache(cache, suffix)
+		// Reference 2: the uncached full concatenation.
+		full := m.NextTokenLogits(append(append([]int{}, prefix...), suffix...))
+		for j, v := range logits.Row(i) {
+			for ref, want := range map[string]float32{"cached": cached[j], "full": full[j]} {
+				d := v - want
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-4 {
+					t.Fatalf("suffix %d logit %d: batch %v vs %s %v", i, j, v, ref, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	enc := batchTestModel(false)
+	if got := enc.ForwardClsBatch(nil); got.Rows != 0 {
+		t.Fatalf("empty cls batch rows = %d", got.Rows)
+	}
+	dec := batchTestModel(true)
+	if got := dec.NextTokenLogitsBatch(nil); got.Rows != 0 {
+		t.Fatalf("empty lm batch rows = %d", got.Rows)
+	}
+}
+
+// TestBatchForwardIsConcurrencySafe hammers the read-only batch path from
+// many goroutines and checks every result against a single-threaded
+// reference — the property core.Server's worker pool depends on.
+func TestBatchForwardIsConcurrencySafe(t *testing.T) {
+	m := batchTestModel(false)
+	seqs := batchTestSeqs(6, m.Config.VocabSize, m.Config.MaxSeqLen, 11)
+	want := m.ForwardClsBatch(seqs)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				got := m.ForwardClsBatch(seqs)
+				if !got.AllClose(want, 1e-6) {
+					errs <- "concurrent batch forward diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
