@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+# The kernel + end-to-end serving benchmarks `make bench` runs and records to
+# BENCH_2.json: tensor kernels, the zero-allocation hot paths, and the
+# batched serving pairs (sequential vs batch at the same work per op).
+BENCH_PATTERN := MatMul128|MatMulBlockedTall|AttentionForward|DecoderNextToken|KVCacheDecode|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|ServerCoalesced
+BENCH_OUT := BENCH_2.json
+
+.PHONY: check fmt vet build test bench bench-all
 
 check: fmt vet build test
 
@@ -22,5 +28,16 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the kernel and serving benchmarks with allocation reporting and
+# records ns/op, B/op, allocs/op to $(BENCH_OUT) — the repo's perf
+# trajectory, one file per perf PR. bench-all is the full sweep including the
+# per-artifact experiment benchmarks (slow, not recorded).
 bench:
+	@$(GO) test -run '^$$' -bench '^Benchmark($(BENCH_PATTERN))$$' -benchmem . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	@awk -v date="$$(date -u +%FT%TZ)" -f scripts/benchjson.awk bench.out > $(BENCH_OUT)
+	@rm -f bench.out
+	@echo "recorded $(BENCH_OUT)"
+
+bench-all:
 	$(GO) test -bench=. -benchmem

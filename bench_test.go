@@ -59,6 +59,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	l := benchLab()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab := def.Run(l)
@@ -107,6 +108,7 @@ func BenchmarkMatMul128(b *testing.B) {
 	tensor.Gaussian(x, 1, rng)
 	tensor.Gaussian(y, 1, rng)
 	dst := tensor.New(128, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(dst, x, y)
@@ -118,6 +120,7 @@ func BenchmarkAttentionForward(b *testing.B) {
 	attn := transformer.NewMultiHeadAttention("bench", 64, 4, true, rng)
 	x := tensor.New(64, 64)
 	tensor.Gaussian(x, 1, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attn.Forward(x, false)
@@ -135,6 +138,7 @@ func BenchmarkEncoderForwardBackward(b *testing.B) {
 	for i := range ids {
 		ids[i] = i % 300
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		logits := m.ForwardCls(ids, true)
@@ -154,6 +158,7 @@ func BenchmarkDecoderNextToken(b *testing.B) {
 	for i := range prompt {
 		prompt[i] = i % 300
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.NextTokenLogits(prompt)
@@ -165,6 +170,7 @@ func BenchmarkTokenizerEncode(b *testing.B) {
 	corpus := logparse.Corpus(ds.Train)
 	tok := tokenizer.Build(corpus)
 	sentence := corpus[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tok.Encode(sentence, true)
@@ -172,8 +178,63 @@ func BenchmarkTokenizerEncode(b *testing.B) {
 }
 
 func BenchmarkDatasetGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		flowbench.Generate(flowbench.Genome, uint64(i))
+	}
+}
+
+// Zero-allocation hot-path benchmarks — the two steady-state serving steps
+// the workspace arena and strided kernels target. allocs/op on both should
+// sit within a few allocations of zero (only returned results allocate).
+
+// BenchmarkKVCacheDecode measures one cached decode step: scoring the next
+// token of a 1-token suffix against a 256-token cached prefix — the ICL
+// serving inner loop after the prompt cache is built.
+func BenchmarkKVCacheDecode(b *testing.B) {
+	cfg := transformer.Config{
+		Name: "bench", VocabSize: 300, MaxSeqLen: 512, DModel: 96,
+		NumHeads: 4, NumLayers: 6, FFNDim: 192, Causal: true, NumClasses: 2,
+	}
+	m := transformer.New(cfg, tensor.NewRNG(7))
+	prefix := make([]int, 256)
+	for i := range prefix {
+		prefix[i] = i % 300
+	}
+	cache := m.InferKVCache(prefix)
+	suffix := []int{7}
+	choices := []int{10, 20}
+	m.ScoreChoiceWithCache(cache, suffix, choices) // warm the workspace pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreChoiceWithCache(cache, suffix, choices)
+	}
+}
+
+// BenchmarkEncodeBatch measures the packed batched encoder forward on a
+// reused worker-owned workspace (8 sequences × 48 tokens), the SFT serving
+// inner loop.
+func BenchmarkEncodeBatch(b *testing.B) {
+	cfg := transformer.Config{
+		Name: "bench", VocabSize: 300, MaxSeqLen: 64, DModel: 96,
+		NumHeads: 4, NumLayers: 4, FFNDim: 192, NumClasses: 2,
+	}
+	m := transformer.New(cfg, tensor.NewRNG(8))
+	seqs := make([][]int, 8)
+	for s := range seqs {
+		seqs[s] = make([]int, 48)
+		for i := range seqs[s] {
+			seqs[s][i] = (s*48 + i) % 300
+		}
+	}
+	ws := tensor.NewWorkspace()
+	m.ForwardClsBatchWS(seqs, ws) // warm the arena for this batch shape
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		m.ForwardClsBatchWS(seqs, ws)
 	}
 }
 
@@ -186,6 +247,7 @@ func BenchmarkSFTEpoch(b *testing.B) {
 	examples := sft.JobExamples(ds.Train)
 	cfg := sft.DefaultTrainConfig()
 	cfg.Epochs = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sft.Train(c, examples, nil, cfg)
@@ -201,6 +263,7 @@ func BenchmarkICLClassify(b *testing.B) {
 	tok := tokenizer.Build(corpus)
 	d := icl.NewDetector(models.MustGet("gpt2").Build(tok.VocabSize()), tok)
 	exs := icl.PromptExamples(icl.SelectExamples(ds.Train, 5, icl.Mixed, 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.ClassifyJob(ds.Test[i%len(ds.Test)], exs)
@@ -237,6 +300,7 @@ func batchBench() (*sft.Classifier, []string) {
 
 func benchmarkPredictSequential(b *testing.B, n int) {
 	c, sentences := batchBench()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range sentences[:n] {
@@ -247,6 +311,7 @@ func benchmarkPredictSequential(b *testing.B, n int) {
 
 func benchmarkPredictBatch(b *testing.B, n int) {
 	c, sentences := batchBench()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.PredictBatch(sentences[:n])
@@ -260,6 +325,7 @@ func BenchmarkSFTPredictBatch32(b *testing.B)      { benchmarkPredictBatch(b, 32
 
 func BenchmarkICLClassifySequential8(b *testing.B) {
 	d, exs, queries := iclBatchBench()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range queries {
@@ -270,6 +336,7 @@ func BenchmarkICLClassifySequential8(b *testing.B) {
 
 func BenchmarkICLClassifyBatch8(b *testing.B) {
 	d, exs, queries := iclBatchBench()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.ClassifyBatch(queries, exs)
@@ -307,6 +374,7 @@ func iclBatchBench() (*icl.Detector, []prompt.Example, []string) {
 func BenchmarkServerDirect(b *testing.B) {
 	c, sentences := batchBench()
 	det := core.NewSFTDetector(c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		det.DetectSentence(sentences[i%len(sentences)])
@@ -321,6 +389,7 @@ func BenchmarkServerCoalesced(b *testing.B) {
 	})
 	defer s.Close()
 	b.SetParallelism(8) // simulate concurrent clients so requests coalesce
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -341,6 +410,7 @@ func BenchmarkMatMulBlockedTall(b *testing.B) {
 	tensor.Gaussian(x, 1, rng)
 	tensor.Gaussian(w, 1, rng)
 	dst := tensor.New(512, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMulBlocked(dst, x, w)
@@ -351,6 +421,7 @@ func BenchmarkQuantize4Bit(b *testing.B) {
 	rng := tensor.NewRNG(5)
 	m := tensor.New(256, 256)
 	tensor.Gaussian(m, 1, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nn.Quantize4Bit(m, nn.DefaultQuantBlock)

@@ -26,12 +26,14 @@ func newGCNLayer(name string, in, out int, rng *tensor.RNG) *gcnLayer {
 func (g *gcnLayer) forward(adj, h *tensor.Matrix, train bool) *tensor.Matrix {
 	g.adj = adj
 	hw := g.lin.Forward(h, train)
-	return tensor.MatMul(nil, adj, hw)
+	// Â has one nonzero per neighbor per row — the sparse-rows kernel skips
+	// the (majority) zero entries the dense branch-free MatMul would stream.
+	return tensor.MatMulOneHotRows(nil, adj, hw)
 }
 
 // backward: dHW = Âᵀ·dout = Â·dout (symmetric), then through the linear.
 func (g *gcnLayer) backward(dout *tensor.Matrix) *tensor.Matrix {
-	dhw := tensor.MatMul(nil, g.adj, dout)
+	dhw := tensor.MatMulOneHotRows(nil, g.adj, dout)
 	g.adj = nil
 	return g.lin.Backward(dhw)
 }

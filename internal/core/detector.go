@@ -23,6 +23,7 @@ import (
 	"repro/internal/pretrain"
 	"repro/internal/prompt"
 	"repro/internal/sft"
+	"repro/internal/tensor"
 	"repro/internal/tokenizer"
 )
 
@@ -49,6 +50,17 @@ func (r Result) Abnormal() bool { return r.Label == 1 }
 // String renders the result like the paper's online-detection figure.
 func (r Result) String() string {
 	return fmt.Sprintf("label: LABEL_%d, score: %.4f", r.Label, r.Score)
+}
+
+// BatchWSDetector is implemented by detectors whose batched path can run on
+// a caller-owned tensor.Workspace scratch arena. Long-lived inference
+// workers (core.Server's pool) hold one workspace each and reset it between
+// batches, making steady-state detection allocation-free; one workspace must
+// never be shared by concurrent DetectBatchWS calls.
+type BatchWSDetector interface {
+	// DetectBatchWS is DetectBatch drawing scratch buffers from ws. The
+	// workspace is used, not reset: the caller resets it between batches.
+	DetectBatchWS(sentences []string, ws *tensor.Workspace) []Result
 }
 
 // Detector is the unified detection interface implemented by both
@@ -82,11 +94,12 @@ func (d *sftDetector) DetectSentence(sentence string) Result {
 
 func (d *sftDetector) DetectBatch(sentences []string) []Result {
 	labels, probs := d.clf.PredictBatch(sentences)
-	out := make([]Result, len(labels))
-	for i := range labels {
-		out[i] = Result{Label: labels[i], Score: float64(probs[i][1])}
-	}
-	return out
+	return toResults(labels, probs)
+}
+
+func (d *sftDetector) DetectBatchWS(sentences []string, ws *tensor.Workspace) []Result {
+	labels, probs := d.clf.PredictBatchWS(sentences, ws)
+	return toResults(labels, probs)
 }
 
 func (d *sftDetector) DetectJob(j flowbench.Job) Result {
@@ -120,6 +133,17 @@ func (d *iclDetector) DetectSentence(sentence string) Result {
 func (d *iclDetector) DetectBatch(sentences []string) []Result {
 	d.cacheOnce.Do(func() { d.cache = d.det.NewPromptCache(d.examples) })
 	labels, probs := d.det.ClassifyBatchCached(d.cache, sentences)
+	return toResults(labels, probs)
+}
+
+func (d *iclDetector) DetectBatchWS(sentences []string, ws *tensor.Workspace) []Result {
+	d.cacheOnce.Do(func() { d.cache = d.det.NewPromptCache(d.examples) })
+	labels, probs := d.det.ClassifyBatchCachedWS(d.cache, sentences, ws)
+	return toResults(labels, probs)
+}
+
+// toResults pairs predicted labels with their abnormal-class probabilities.
+func toResults(labels []int, probs [][2]float32) []Result {
 	out := make([]Result, len(labels))
 	for i := range labels {
 		out[i] = Result{Label: labels[i], Score: float64(probs[i][1])}

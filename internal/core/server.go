@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/logparse"
+	"repro/internal/tensor"
 )
 
 // DetectRequest is the body of POST /v1/detect. Exactly one of Sentence or
@@ -220,17 +221,26 @@ func (s *Server) dispatch() {
 	}
 }
 
-// worker executes dispatched batches through the detector.
+// worker executes dispatched batches through the detector. Each worker owns
+// one tensor.Workspace for its lifetime: when the detector supports
+// workspace-threaded batches (BatchWSDetector), every model invocation
+// reuses the worker's arena instead of allocating its temporaries, so
+// steady-state serving is allocation-free outside request plumbing.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	wsDet, _ := s.det.(BatchWSDetector)
 	for batch := range s.batches {
-		s.runBatch(batch)
+		s.runBatch(batch, wsDet, ws)
 	}
 }
 
 // runBatch classifies the coalesced sentences in MaxBatch-sized chunks and
-// hands each job its slice of the results, preserving input order.
-func (s *Server) runBatch(batch []*detectJob) {
+// hands each job its slice of the results, preserving input order. The
+// worker's workspace is reset between chunks, bounding the arena to one
+// chunk's scratch.
+func (s *Server) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
 	total := 0
 	for _, j := range batch {
 		total += len(j.sentences)
@@ -242,7 +252,12 @@ func (s *Server) runBatch(batch []*detectJob) {
 	results := make([]Result, 0, total)
 	for lo := 0; lo < len(all); lo += s.cfg.MaxBatch {
 		hi := min(lo+s.cfg.MaxBatch, len(all))
-		results = append(results, s.det.DetectBatch(all[lo:hi])...)
+		if wsDet != nil {
+			ws.Reset()
+			results = append(results, wsDet.DetectBatchWS(all[lo:hi], ws)...)
+		} else {
+			results = append(results, s.det.DetectBatch(all[lo:hi])...)
+		}
 	}
 	off := 0
 	for _, j := range batch {

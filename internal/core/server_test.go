@@ -11,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/flowbench"
 	"repro/internal/logparse"
+	"repro/internal/tensor"
 )
 
 // TestDetectBatchMatchesSequential pins the batched detector path to the
@@ -220,5 +222,74 @@ func TestHealthReportsBatching(t *testing.T) {
 	}
 	if health.Status != "ok" || health.MaxBatch != 16 || health.Workers != 3 {
 		t.Fatalf("health = %+v", health)
+	}
+}
+
+// wsProbeDetector is a stub BatchWSDetector that stamps a per-call token
+// into workspace scratch and re-reads it after simulated work. If the server
+// ever handed one workspace to two concurrent batches, the re-read (or the
+// race detector) catches it.
+type wsProbeDetector struct {
+	mu    sync.Mutex
+	calls int
+	fails int
+}
+
+func (d *wsProbeDetector) DetectSentence(string) Result     { return Result{} }
+func (d *wsProbeDetector) DetectJob(j flowbench.Job) Result { return Result{} }
+func (d *wsProbeDetector) Approach() Approach               { return SFT }
+
+func (d *wsProbeDetector) DetectBatch(sentences []string) []Result {
+	return make([]Result, len(sentences))
+}
+
+func (d *wsProbeDetector) DetectBatchWS(sentences []string, ws *tensor.Workspace) []Result {
+	d.mu.Lock()
+	d.calls++
+	token := float32(d.calls)
+	d.mu.Unlock()
+	m := ws.Get(16, 16)
+	m.Fill(token)
+	scratch := ws.Get(8, 8) // exercise multiple arena slots
+	scratch.Fill(-token)
+	time.Sleep(time.Millisecond) // widen the overlap window across workers
+	for _, v := range m.Data {
+		if v != token {
+			d.mu.Lock()
+			d.fails++
+			d.mu.Unlock()
+			break
+		}
+	}
+	return make([]Result, len(sentences))
+}
+
+// TestServerWorkersOwnWorkspaces hammers a multi-worker server under -race:
+// every model invocation must see a workspace exclusively its own.
+func TestServerWorkersOwnWorkspaces(t *testing.T) {
+	det := &wsProbeDetector{}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 2, FlushDelay: 0, Workers: 4})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := s.Detect([]string{"a", "b", "c"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	det.mu.Lock()
+	defer det.mu.Unlock()
+	if det.calls == 0 {
+		t.Fatal("workspace-threaded batch path never ran")
+	}
+	if det.fails != 0 {
+		t.Fatalf("%d batches observed another batch's workspace writes", det.fails)
 	}
 }

@@ -166,6 +166,16 @@ func (d *Detector) ClassifyBatch(queries []string, examples []prompt.Example) ([
 // Queries whose suffix would overflow the context fall back to the
 // full-prompt batched path (which keeps the right edge, as Classify does).
 func (d *Detector) ClassifyBatchCached(pc *PromptCache, queries []string) ([]int, [][2]float32) {
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	return d.ClassifyBatchCachedWS(pc, queries, ws)
+}
+
+// ClassifyBatchCachedWS is ClassifyBatchCached on a caller-owned
+// tensor.Workspace, letting a long-lived inference worker reuse one scratch
+// arena across batches. The workspace is used, not reset: the caller resets
+// it between batches.
+func (d *Detector) ClassifyBatchCachedWS(pc *PromptCache, queries []string, ws *tensor.Workspace) ([]int, [][2]float32) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -187,7 +197,7 @@ func (d *Detector) ClassifyBatchCached(pc *PromptCache, queries []string) ([]int
 		fullPrompts = append(fullPrompts, append([]int{tokenizer.BOS}, d.Tok.Encode(p, false)...))
 	}
 	if len(suffixes) > 0 {
-		best, probs := d.Model.ScoreChoiceBatchWithCache(pc.cache, suffixes, pc.choices[:])
+		best, probs := d.Model.ScoreChoiceBatchWithCacheWS(pc.cache, suffixes, pc.choices[:], ws)
 		for k, i := range cachedIdx {
 			labels[i] = best[k]
 			out[i] = [2]float32{probs[k][0], probs[k][1]}

@@ -13,19 +13,27 @@ import (
 // Infer methods below compute the same eval-mode outputs while reading only
 // the layer's parameters, so a trained model can serve concurrent batched
 // requests (core.Server workers, parallel trace detection) without cloning.
+//
+// Every Infer takes a *tensor.Workspace and draws its output (and any
+// intermediates) from it, so steady-state inference reuses one arena of
+// buffers instead of allocating per layer per call. A nil workspace is valid
+// and falls back to plain allocation. Outputs are arena-backed when ws is
+// non-nil: they are invalidated by the workspace's next Reset, and callers
+// returning results past that point must copy them out first.
 
 // Inferer is a layer that supports a read-only inference forward pass.
 type Inferer interface {
-	// Infer computes the eval-mode forward pass without mutating the layer.
-	Infer(x *tensor.Matrix) *tensor.Matrix
+	// Infer computes the eval-mode forward pass without mutating the layer,
+	// drawing scratch and output buffers from ws (nil ws allocates).
+	Infer(x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix
 }
 
 // Infer dispatches to l's read-only path, falling back to the caching
 // eval-mode Forward for layers that do not implement Inferer (the fallback is
-// not safe for concurrent use).
-func Infer(l Layer, x *tensor.Matrix) *tensor.Matrix {
+// not safe for concurrent use and ignores the workspace).
+func Infer(l Layer, x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix {
 	if il, ok := l.(Inferer); ok {
-		return il.Infer(x)
+		return il.Infer(x, ws)
 	}
 	return l.Forward(x, false)
 }
@@ -33,8 +41,8 @@ func Infer(l Layer, x *tensor.Matrix) *tensor.Matrix {
 // Infer computes xW + b without caching x. The blocked matmul kernel is used:
 // batched inference feeds tall packed [ΣT, d] inputs where the k-panel
 // schedule keeps the weight matrix hot in cache.
-func (l *Linear) Infer(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.MatMulBlocked(nil, x, l.Weight.W)
+func (l *Linear) Infer(x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix {
+	y := tensor.MatMulBlocked(ws.Get(x.Rows, l.Out()), x, l.Weight.W)
 	if l.Bias != nil {
 		y = tensor.AddRowVec(y, y, l.Bias.W.Data)
 	}
@@ -44,18 +52,18 @@ func (l *Linear) Infer(x *tensor.Matrix) *tensor.Matrix {
 // Infer computes the base output plus the scaled low-rank correction without
 // caching. Adapter dropout is inference-disabled, matching Forward in eval
 // mode.
-func (l *LoRALinear) Infer(x *tensor.Matrix) *tensor.Matrix {
-	y := l.Base.Infer(x)
-	xa := tensor.MatMulBlocked(nil, x, l.A.W)
-	delta := tensor.MatMulBlocked(nil, xa, l.B.W)
+func (l *LoRALinear) Infer(x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix {
+	y := l.Base.Infer(x, ws)
+	xa := tensor.MatMulBlocked(ws.Get(x.Rows, l.Rank), x, l.A.W)
+	delta := tensor.MatMulBlocked(ws.Get(x.Rows, l.Base.Out()), xa, l.B.W)
 	tensor.AddScaled(y, delta, l.Scale)
 	return y
 }
 
 // Infer normalizes each row of x without caching normalization state.
-func (ln *LayerNorm) Infer(x *tensor.Matrix) *tensor.Matrix {
+func (ln *LayerNorm) Infer(x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix {
 	n, d := x.Rows, x.Cols
-	out := tensor.New(n, d)
+	out := ws.Get(n, d)
 	g, b := ln.Gamma.W.Data, ln.Beta.W.Data
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
@@ -79,8 +87,8 @@ func (ln *LayerNorm) Infer(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Infer applies GELU element-wise without caching the input.
-func (g *GELU) Infer(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
+func (g *GELU) Infer(x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix {
+	out := ws.Get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = geluScalar(v)
 	}
@@ -88,13 +96,14 @@ func (g *GELU) Infer(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Infer is the identity: dropout is disabled at inference.
-func (d *Dropout) Infer(x *tensor.Matrix) *tensor.Matrix { return x }
+func (d *Dropout) Infer(x *tensor.Matrix, ws *tensor.Workspace) *tensor.Matrix { return x }
 
 // Infer gathers embedding rows for ids without caching them for a backward
-// pass.
-func (e *Embedding) Infer(ids []int) *tensor.Matrix {
+// pass. The gather is the one-hot specialization of tensor.MatMulOneHotRows:
+// row i of the result is table row ids[i].
+func (e *Embedding) Infer(ids []int, ws *tensor.Workspace) *tensor.Matrix {
 	dim := e.Table.W.Cols
-	out := tensor.New(len(ids), dim)
+	out := ws.Get(len(ids), dim)
 	for i, id := range ids {
 		copy(out.Row(i), e.Table.W.Row(id))
 	}

@@ -75,6 +75,15 @@ func (c *Classifier) Predict(text string) (int, [2]float32) {
 // input order. Predictions match Predict on each sentence; the batched path
 // reads the model without mutating it, so it is safe to call concurrently.
 func (c *Classifier) PredictBatch(texts []string) ([]int, [][2]float32) {
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	return c.PredictBatchWS(texts, ws)
+}
+
+// PredictBatchWS is PredictBatch on a caller-owned tensor.Workspace, letting
+// a long-lived inference worker reuse one scratch arena across batches. The
+// workspace is used, not reset: the caller resets it between batches.
+func (c *Classifier) PredictBatchWS(texts []string, ws *tensor.Workspace) ([]int, [][2]float32) {
 	if len(texts) == 0 {
 		return nil, nil
 	}
@@ -82,7 +91,7 @@ func (c *Classifier) PredictBatch(texts []string) ([]int, [][2]float32) {
 	for i, t := range texts {
 		seqs[i] = c.Tok.Encode(t, true)
 	}
-	logits := c.Model.ForwardClsBatch(seqs)
+	logits := c.Model.ForwardClsBatchWS(seqs, ws)
 	labels := make([]int, len(texts))
 	probs := make([][2]float32, len(texts))
 	for i := range texts {

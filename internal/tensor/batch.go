@@ -94,27 +94,33 @@ func MatMulBlocked(dst, a, b *Matrix) *Matrix {
 		dst.Zero()
 	}
 	n, k, p := a.Rows, a.Cols, b.Cols
+	if !parallelWorth(n, k*p) {
+		matMulBlockedRows(dst, a, b, 0, n)
+		return dst
+	}
 	parallelRows(n, k*p, func(lo, hi int) {
-		for k0 := 0; k0 < k; k0 += matMulBlockK {
-			k1 := k0 + matMulBlockK
-			if k1 > k {
-				k1 = k
-			}
-			for i := lo; i < hi; i++ {
-				ar := a.Data[i*k : (i+1)*k]
-				dr := dst.Data[i*p : (i+1)*p]
-				for kk := k0; kk < k1; kk++ {
-					av := ar[kk]
-					if av == 0 {
-						continue
-					}
-					br := b.Data[kk*p : (kk+1)*p]
-					for j, bv := range br {
-						dr[j] += av * bv
-					}
+		matMulBlockedRows(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+func matMulBlockedRows(dst, a, b *Matrix, lo, hi int) {
+	k, p := a.Cols, b.Cols
+	for k0 := 0; k0 < k; k0 += matMulBlockK {
+		k1 := k0 + matMulBlockK
+		if k1 > k {
+			k1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			dr := dst.Data[i*p : (i+1)*p]
+			for kk := k0; kk < k1; kk++ {
+				av := ar[kk]
+				br := b.Data[kk*p : (kk+1)*p]
+				for j, bv := range br {
+					dr[j] += av * bv
 				}
 			}
 		}
-	})
-	return dst
+	}
 }

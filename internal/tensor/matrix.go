@@ -106,13 +106,26 @@ func (m *Matrix) String() string {
 	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 }
 
-// T returns the transpose of m as a new matrix.
+// transposeBlock is the tile edge of the blocked transpose: a 32×32 float32
+// tile is 4 KiB, so the read tile and the write tile together stay resident
+// in L1 while the tile is turned.
+const transposeBlock = 32
+
+// T returns the transpose of m as a new matrix. The copy is blocked into
+// square tiles so both the row-major reads and the (inherently strided)
+// transposed writes hit each cache line transposeBlock times instead of once.
 func (m *Matrix) T() *Matrix {
 	out := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			out.Data[j*m.Rows+i] = v
+	for i0 := 0; i0 < m.Rows; i0 += transposeBlock {
+		i1 := min(i0+transposeBlock, m.Rows)
+		for j0 := 0; j0 < m.Cols; j0 += transposeBlock {
+			j1 := min(j0+transposeBlock, m.Cols)
+			for i := i0; i < i1; i++ {
+				row := m.Data[i*m.Cols+j0 : i*m.Cols+j1]
+				for j, v := range row {
+					out.Data[(j0+j)*m.Rows+i] = v
+				}
+			}
 		}
 	}
 	return out
@@ -122,6 +135,15 @@ func (m *Matrix) T() *Matrix {
 // stay single-threaded; goroutine fan-out costs more than it saves on tiny
 // matrices.
 const parallelThreshold = 16 * 1024
+
+// parallelWorth reports whether rows×workPerRow scalar operations are enough
+// work to amortize goroutine fan-out. Hot-path kernels consult it before
+// constructing their parallel closure: a func literal referenced by a `go`
+// statement is forced onto the heap, so allocation-free serial fast paths
+// must branch before the literal is evaluated.
+func parallelWorth(rows, workPerRow int) bool {
+	return rows*workPerRow >= parallelThreshold && rows > 1 && runtime.GOMAXPROCS(0) > 1
+}
 
 // parallelRows fans fn out over row ranges [lo,hi) using up to GOMAXPROCS
 // workers. fn must be safe to call concurrently on disjoint ranges.
@@ -153,8 +175,9 @@ func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
 // MatMul computes a×b and stores the result into dst, returning dst. If dst
 // is nil a new matrix is allocated. Panics if shapes are incompatible.
 //
-// The kernel is an i-k-j loop with the inner j loop vectorizable by the
-// compiler, parallelized over blocks of rows of a.
+// The kernel is an i-k-j loop with a branch-free inner j loop the compiler
+// can vectorize, parallelized over blocks of rows of a. Inputs with mostly
+// zero rows should use MatMulOneHotRows, which keeps the skip-zero branch.
 func MatMul(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -176,9 +199,6 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 			ar := a.Data[i*k : (i+1)*k]
 			dr := dst.Data[i*p : (i+1)*p]
 			for kk, av := range ar {
-				if av == 0 {
-					continue
-				}
 				br := b.Data[kk*p : (kk+1)*p]
 				for j, bv := range br {
 					dr[j] += av * bv
@@ -242,9 +262,6 @@ func TMatMul(dst, a, b *Matrix) *Matrix {
 			br := b.Data[kk*p : (kk+1)*p]
 			for i := lo; i < hi; i++ {
 				av := ar[i]
-				if av == 0 {
-					continue
-				}
 				dr := dst.Data[i*p : (i+1)*p]
 				for j, bv := range br {
 					dr[j] += av * bv

@@ -1,0 +1,303 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Strided attention kernels.
+//
+// Multi-head attention addresses head h of a row-major [T, dModel] activation
+// matrix as the column window [h·dh, (h+1)·dh). The kernels below operate
+// directly on such windows — a (matrix, column-offset, width) triple — so
+// attention heads are views into the projection matrices rather than per-head
+// copies. Combined with a Workspace (workspace.go) for the score buffers this
+// makes the steady-state inference path allocation- and copy-free.
+//
+// Accumulation order over the reduction dimension is strictly increasing in
+// every kernel, exactly as in MatMul/MatMulT/TMatMul, so results are bitwise
+// identical to running the dense kernels on materialized head copies.
+
+// MatMulTStrided computes the cross product of two column windows without
+// materializing either: for every row i of a and row j of b,
+//
+//	dst[i][doff+j] = Σ_{c<w} a[i][aoff+c] · b[j][boff+c]
+//
+// a's window is [a.Rows, w] starting at column aoff, b's is [b.Rows, w] at
+// boff; the result lands in dst columns [doff, doff+b.Rows). This is the
+// qh·khᵀ score kernel: with dst a [Tq, Tpast+Tq] score matrix, doff selects
+// the past-key or current-key block.
+func MatMulTStrided(dst *Matrix, doff int, a *Matrix, aoff int, b *Matrix, boff, w int) {
+	if aoff < 0 || aoff+w > a.Cols || boff < 0 || boff+w > b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT strided window [%d,+%d) of %d cols × [%d,+%d) of %d cols", aoff, w, a.Cols, boff, w, b.Cols))
+	}
+	if dst.Rows != a.Rows || doff < 0 || doff+b.Rows > dst.Cols {
+		panic(fmt.Sprintf("tensor: matmulT strided dst %dx%d cannot hold %dx%d at col %d", dst.Rows, dst.Cols, a.Rows, b.Rows, doff))
+	}
+	n, p := a.Rows, b.Rows
+	if !parallelWorth(n, w*p) {
+		matMulTStridedRows(dst, doff, a, aoff, b, boff, w, 0, n)
+		return
+	}
+	parallelRows(n, w*p, func(lo, hi int) {
+		matMulTStridedRows(dst, doff, a, aoff, b, boff, w, lo, hi)
+	})
+}
+
+func matMulTStridedRows(dst *Matrix, doff int, a *Matrix, aoff int, b *Matrix, boff, w, lo, hi int) {
+	p := b.Rows
+	ac, bc, dc := a.Cols, b.Cols, dst.Cols
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*ac+aoff : i*ac+aoff+w]
+		dr := dst.Data[i*dc+doff : i*dc+doff+p]
+		for j := 0; j < p; j++ {
+			br := b.Data[j*bc+boff : j*bc+boff+w]
+			var sum float32
+			for c, av := range ar {
+				sum += av * br[c]
+			}
+			dr[j] = sum
+		}
+	}
+}
+
+// MatMulStrided multiplies a column window of a against a column window of b,
+// assigning into a column window of dst:
+//
+//	dst[i][doff+j] = Σ_{c<aw} a[i][aoff+c] · b[c][boff+j]   (j < w)
+//
+// a's window is [a.Rows, aw] at column aoff, b's is [aw, w] at boff. This is
+// the probs·vh output kernel: probs live in a (possibly wider) score matrix
+// and the result lands directly in the concat matrix's head window.
+func MatMulStrided(dst *Matrix, doff int, a *Matrix, aoff, aw int, b *Matrix, boff, w int) {
+	matMulStrided(dst, doff, a, aoff, aw, b, boff, w, false)
+}
+
+// MatMulStridedAcc is MatMulStrided that accumulates into dst instead of
+// assigning — the strided accumulate store used to add the current-chunk
+// attention output on top of the cached-prefix contribution.
+func MatMulStridedAcc(dst *Matrix, doff int, a *Matrix, aoff, aw int, b *Matrix, boff, w int) {
+	matMulStrided(dst, doff, a, aoff, aw, b, boff, w, true)
+}
+
+func matMulStrided(dst *Matrix, doff int, a *Matrix, aoff, aw int, b *Matrix, boff, w int, acc bool) {
+	if aoff < 0 || aoff+aw > a.Cols || boff < 0 || boff+w > b.Cols || aw > b.Rows {
+		panic(fmt.Sprintf("tensor: matmul strided window [%d,+%d) of %d cols × %dx[%d,+%d)", aoff, aw, a.Cols, b.Rows, boff, w))
+	}
+	if dst.Rows != a.Rows || doff < 0 || doff+w > dst.Cols {
+		panic(fmt.Sprintf("tensor: matmul strided dst %dx%d cannot hold %dx%d at col %d", dst.Rows, dst.Cols, a.Rows, w, doff))
+	}
+	n := a.Rows
+	if !parallelWorth(n, aw*w) {
+		matMulStridedRows(dst, doff, a, aoff, aw, b, boff, w, acc, 0, n)
+		return
+	}
+	parallelRows(n, aw*w, func(lo, hi int) {
+		matMulStridedRows(dst, doff, a, aoff, aw, b, boff, w, acc, lo, hi)
+	})
+}
+
+func matMulStridedRows(dst *Matrix, doff int, a *Matrix, aoff, aw int, b *Matrix, boff, w int, acc bool, lo, hi int) {
+	ac, bc, dc := a.Cols, b.Cols, dst.Cols
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*ac+aoff : i*ac+aoff+aw]
+		dr := dst.Data[i*dc+doff : i*dc+doff+w]
+		if !acc {
+			for j := range dr {
+				dr[j] = 0
+			}
+		}
+		for c, av := range ar {
+			br := b.Data[c*bc+boff : c*bc+boff+w]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// TMatMulStrided computes aᵀ times a column window of b, assigning into a
+// column window of dst:
+//
+//	dst[i][doff+j] = Σ_{r<a.Rows} a[r][i] · b[r][boff+j]   (i < a.Cols, j < w)
+//
+// a is dense [k, n]; b's window is [k, w] at column boff. This is the
+// backward-pass probsᵀ·dOut kernel, writing per-head gradients directly into
+// the packed dV/dK head window.
+func TMatMulStrided(dst *Matrix, doff int, a *Matrix, b *Matrix, boff, w int) {
+	if a.Rows != b.Rows || boff < 0 || boff+w > b.Cols {
+		panic(fmt.Sprintf("tensor: tmatmul strided (%dx%d)ᵀ × %dx[%d,+%d)", a.Rows, a.Cols, b.Rows, boff, w))
+	}
+	if dst.Rows != a.Cols || doff < 0 || doff+w > dst.Cols {
+		panic(fmt.Sprintf("tensor: tmatmul strided dst %dx%d cannot hold %dx%d at col %d", dst.Rows, dst.Cols, a.Cols, w, doff))
+	}
+	k, n := a.Rows, a.Cols
+	if !parallelWorth(n, k*w) {
+		tMatMulStridedRows(dst, doff, a, b, boff, w, 0, n)
+		return
+	}
+	parallelRows(n, k*w, func(lo, hi int) {
+		tMatMulStridedRows(dst, doff, a, b, boff, w, lo, hi)
+	})
+}
+
+func tMatMulStridedRows(dst *Matrix, doff int, a *Matrix, b *Matrix, boff, w, lo, hi int) {
+	k, n := a.Rows, a.Cols
+	bc, dc := b.Cols, dst.Cols
+	for i := lo; i < hi; i++ {
+		dr := dst.Data[i*dc+doff : i*dc+doff+w]
+		for j := range dr {
+			dr[j] = 0
+		}
+	}
+	for r := 0; r < k; r++ {
+		ar := a.Data[r*n : (r+1)*n]
+		br := b.Data[r*bc+boff : r*bc+boff+w]
+		for i := lo; i < hi; i++ {
+			av := ar[i]
+			dr := dst.Data[i*dc+doff : i*dc+doff+w]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// ScaledMaskedRowSoftmax fuses the three per-row passes of attention-score
+// normalization — scale by `scale`, causal masking, softmax — into one kernel
+// using the float32 fast exponential (ExpFast32).
+//
+// Row i's valid window is columns [0, lim) with lim = past+i+1 when causal
+// (the row's query position attends all `past` cached keys plus current keys
+// 0..i) and lim = m.Cols otherwise. The window receives softmax(scale·row);
+// columns at and beyond lim are set to exactly 0, so masked positions never
+// materialize a -Inf score and downstream A·V products see clean zeros.
+func ScaledMaskedRowSoftmax(m *Matrix, scale float32, past int, causal bool) {
+	if !parallelWorth(m.Rows, m.Cols*4) {
+		scaledMaskedRowSoftmaxRows(m, scale, past, causal, 0, m.Rows)
+		return
+	}
+	parallelRows(m.Rows, m.Cols*4, func(lo, hi int) {
+		scaledMaskedRowSoftmaxRows(m, scale, past, causal, lo, hi)
+	})
+}
+
+func scaledMaskedRowSoftmaxRows(m *Matrix, scale float32, past int, causal bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		lim := m.Cols
+		if causal && past+i+1 < lim {
+			lim = past + i + 1
+		}
+		valid := row[:lim]
+		maxv := scale * valid[0]
+		for _, v := range valid[1:] {
+			if sv := scale * v; sv > maxv {
+				maxv = sv
+			}
+		}
+		var sum float32
+		for j, v := range valid {
+			e := ExpFast32(scale*v - maxv)
+			valid[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range valid {
+			valid[j] *= inv
+		}
+		for j := lim; j < m.Cols; j++ {
+			row[j] = 0
+		}
+	}
+}
+
+// Fast float32 exponential constants: e^x = 2^n · e^f with n = round(x·log₂e)
+// and f = x - n·ln2 reduced via a two-part ln2 so the reduction itself costs
+// no precision. |f| ≤ ln2/2 ≈ 0.3466, where the degree-6 Taylor polynomial's
+// truncation error (f⁷/5040 ≈ 3e-7 relative) sits below float32 rounding
+// noise; the measured error against float64 math.Exp is pinned by
+// TestExpFast32Tolerance.
+const (
+	expLog2E float32 = 1.4426950408889634
+	expLn2Hi float32 = 6.9314575195e-01
+	expLn2Lo float32 = 1.4286067653e-06
+)
+
+// ExpFast32 approximates e^x in pure float32 arithmetic. Inputs below the
+// float32 normal range (including -Inf, the conventional masked-score value)
+// return exactly 0; inputs above the representable range return +Inf.
+func ExpFast32(x float32) float32 {
+	if x != x { // NaN propagates
+		return x
+	}
+	if x <= -87.33655 {
+		return 0
+	}
+	if x >= 88.72283 {
+		return float32(math.Inf(1))
+	}
+	t := x * expLog2E
+	var n int32
+	if t >= 0 {
+		n = int32(t + 0.5)
+	} else {
+		n = int32(t - 0.5)
+	}
+	fn := float32(n)
+	f := (x - fn*expLn2Hi) - fn*expLn2Lo
+	p := float32(1.0 / 720)
+	p = p*f + 1.0/120
+	p = p*f + 1.0/24
+	p = p*f + 1.0/6
+	p = p*f + 0.5
+	p = p*f + 1
+	p = p*f + 1
+	if n >= 128 {
+		// 2^n is not encodable as a float32 exponent, but p·2^n may still be
+		// finite (x up to ln(MaxFloat32) ≈ 88.72): scale by 2^127, then by 2.
+		return p * math.Float32frombits(254<<23) * 2
+	}
+	return p * math.Float32frombits(uint32(n+127)<<23)
+}
+
+// MatMulOneHotRows computes a×b for an `a` whose rows are mostly zero — the
+// sparse-rows kernel that inherited the skip-zero branch removed from the
+// dense MatMul/TMatMul inner loops. For a one-hot `a` each output row is a
+// single gather of a row of b, which is exactly what the embedding layer's
+// table lookup computes directly (Embedding.Infer is the id-indexed
+// specialization of this kernel); the row-normalized GCN adjacency product is
+// the general sparse-rows case.
+func MatMulOneHotRows(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil {
+		dst = New(a.Rows, b.Cols)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Cols {
+			panic(fmt.Sprintf("tensor: matmul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+		}
+		if dst == a || dst == b {
+			panic("tensor: matmul dst must not alias an input")
+		}
+		dst.Zero()
+	}
+	n, k, p := a.Rows, a.Cols, b.Cols
+	parallelRows(n, k*p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			dr := dst.Data[i*p : (i+1)*p]
+			for kk, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Data[kk*p : (kk+1)*p]
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
+}

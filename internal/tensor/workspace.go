@@ -1,0 +1,122 @@
+package tensor
+
+import "sync"
+
+// Workspace is an arena of reusable scratch buffers for the steady-state
+// inference path. Layers request temporaries with Get/GetZeroed/GetInts/
+// RowView; the owner calls Reset between requests, which rewinds the arena so
+// the same buffers (headers and backing slices) are handed out again. After a
+// warm-up call per batch shape, a forward pass through the whole block stack
+// performs zero heap allocations.
+//
+// A Workspace is NOT safe for concurrent use: it belongs to one goroutine at
+// a time (a core.Server inference worker owns one for its lifetime; one-shot
+// callers borrow one from the package pool via GetWorkspace/PutWorkspace).
+// Buffers returned by Get remain valid until the next Reset — never retain
+// one past that point; copy results that must outlive the workspace.
+//
+// A nil *Workspace is valid everywhere one is accepted and degrades to plain
+// allocation, so cold paths can pass nil instead of threading an arena.
+type Workspace struct {
+	bufs  []*Matrix
+	next  int
+	views []*Matrix
+	vnext int
+	ints  [][]int
+	inext int
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Get returns a rows×cols scratch matrix whose contents are unspecified
+// (kernels that assign or zero their destination — every MatMul* variant —
+// can use it directly; accumulating callers want GetZeroed).
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	if w == nil {
+		return New(rows, cols)
+	}
+	if w.next == len(w.bufs) {
+		w.bufs = append(w.bufs, &Matrix{})
+	}
+	m := w.bufs[w.next]
+	w.next++
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// GetZeroed returns a zeroed rows×cols scratch matrix.
+func (w *Workspace) GetZeroed(rows, cols int) *Matrix {
+	if w == nil {
+		return New(rows, cols)
+	}
+	m := w.Get(rows, cols)
+	m.Zero()
+	return m
+}
+
+// GetInts returns a length-n int scratch slice with unspecified contents.
+func (w *Workspace) GetInts(n int) []int {
+	if w == nil {
+		return make([]int, n)
+	}
+	if w.inext == len(w.ints) {
+		w.ints = append(w.ints, nil)
+	}
+	s := w.ints[w.inext]
+	if cap(s) < n {
+		s = make([]int, n)
+		w.ints[w.inext] = s
+	}
+	w.inext++
+	return s[:n]
+}
+
+// RowView returns a matrix header aliasing rows [lo, hi) of m, like
+// Matrix.RowView but with the header itself drawn from the arena so repeated
+// per-sequence views allocate nothing.
+func (w *Workspace) RowView(m *Matrix, lo, hi int) *Matrix {
+	if w == nil {
+		return m.RowView(lo, hi)
+	}
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic("tensor: workspace row view out of range")
+	}
+	if w.vnext == len(w.views) {
+		w.views = append(w.views, &Matrix{})
+	}
+	v := w.views[w.vnext]
+	w.vnext++
+	v.Rows, v.Cols, v.Data = hi-lo, m.Cols, m.Data[lo*m.Cols:hi*m.Cols]
+	return v
+}
+
+// Reset rewinds the arena: every buffer handed out since the previous Reset
+// is considered free and will be reused by subsequent Gets. Capacity is
+// retained.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	w.next, w.vnext, w.inext = 0, 0, 0
+}
+
+var workspacePool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// GetWorkspace borrows a workspace from the package pool. Pair it with
+// PutWorkspace (typically via defer); long-lived owners such as server
+// workers may hold one for many Reset cycles before returning it.
+func GetWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
+
+// PutWorkspace resets w and returns it to the pool. w must not be used after.
+func PutWorkspace(w *Workspace) {
+	if w == nil {
+		return
+	}
+	w.Reset()
+	workspacePool.Put(w)
+}

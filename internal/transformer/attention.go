@@ -70,27 +70,10 @@ func (a *MultiHeadAttention) sharedCopy() *MultiHeadAttention {
 	}
 }
 
-// headView extracts head h (columns [h·dh, (h+1)·dh)) of m into a new [T,dh]
-// matrix.
-func headView(m *tensor.Matrix, h, dh int) *tensor.Matrix {
-	out := tensor.New(m.Rows, dh)
-	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[h*dh:(h+1)*dh])
-	}
-	return out
-}
-
-// headStore adds src [T,dh] into columns [h·dh,(h+1)·dh) of dst.
-func headStore(dst, src *tensor.Matrix, h, dh int) {
-	for i := 0; i < src.Rows; i++ {
-		dr := dst.Row(i)[h*dh : (h+1)*dh]
-		for j, v := range src.Row(i) {
-			dr[j] += v
-		}
-	}
-}
-
-// Forward computes self-attention over x [T, dModel].
+// Forward computes self-attention over x [T, dModel]. Heads are addressed as
+// column windows of the packed q/k/v projections via the strided kernels —
+// no per-head copies are made; only the per-head probability matrices are
+// allocated (the backward pass consumes them).
 func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	T := x.Rows
 	dh := a.DModel / a.NumHeads
@@ -102,23 +85,12 @@ func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 	a.concat = tensor.New(T, a.DModel)
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	for h := 0; h < a.NumHeads; h++ {
-		qh := headView(a.q, h, dh)
-		kh := headView(a.k, h, dh)
-		vh := headView(a.v, h, dh)
-		scores := tensor.MatMulT(nil, qh, kh)
-		tensor.Scale(scores, scores, scale)
-		if a.Causal {
-			for i := 0; i < T; i++ {
-				row := scores.Row(i)
-				for j := i + 1; j < T; j++ {
-					row[j] = float32(math.Inf(-1))
-				}
-			}
-		}
-		tensor.RowSoftmax(scores)
+		off := h * dh
+		scores := tensor.New(T, T)
+		tensor.MatMulTStrided(scores, 0, a.q, off, a.k, off, dh)
+		tensor.ScaledMaskedRowSoftmax(scores, scale, 0, a.Causal)
 		a.probs[h] = scores
-		out := tensor.MatMul(nil, scores, vh)
-		headStore(a.concat, out, h, dh)
+		tensor.MatMulStrided(a.concat, off, scores, 0, T, a.v, off, dh)
 	}
 	return a.Wo.Forward(a.concat, train)
 }
@@ -137,17 +109,15 @@ func (a *MultiHeadAttention) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	dq := tensor.New(T, a.DModel)
 	dk := tensor.New(T, a.DModel)
 	dv := tensor.New(T, a.DModel)
+	dScores := tensor.New(T, T)
+	dProbs := tensor.New(T, T)
 	for h := 0; h < a.NumHeads; h++ {
-		dOutH := headView(dConcat, h, dh)
+		off := h * dh
 		probs := a.probs[h]
-		vh := headView(a.v, h, dh)
-		qh := headView(a.q, h, dh)
-		kh := headView(a.k, h, dh)
-		// out = probs · vh
-		dProbs := tensor.MatMulT(nil, dOutH, vh) // [T,T]
-		dVh := tensor.TMatMul(nil, probs, dOutH) // [T,dh]
+		// out = probs · vh over the head's column window.
+		tensor.MatMulTStrided(dProbs, 0, dConcat, off, a.v, off, dh)
+		tensor.TMatMulStrided(dv, off, probs, dConcat, off, dh)
 		// Softmax backward per row: dS = P ⊙ (dP - Σ dP⊙P).
-		dScores := tensor.New(T, T)
 		for i := 0; i < T; i++ {
 			pr := probs.Row(i)
 			dpr := dProbs.Row(i)
@@ -162,11 +132,8 @@ func (a *MultiHeadAttention) Backward(dout *tensor.Matrix) *tensor.Matrix {
 		}
 		tensor.Scale(dScores, dScores, scale)
 		// scores = qh·khᵀ ⇒ dq = dS·kh, dk = dSᵀ·qh.
-		dQh := tensor.MatMul(nil, dScores, kh)
-		dKh := tensor.TMatMul(nil, dScores, qh)
-		headStore(dq, dQh, h, dh)
-		headStore(dk, dKh, h, dh)
-		headStore(dv, dVh, h, dh)
+		tensor.MatMulStrided(dq, off, dScores, 0, T, a.k, off, dh)
+		tensor.TMatMulStrided(dk, off, dScores, a.q, off, dh)
 	}
 	dx := a.Wq.Backward(dq)
 	tensor.AddScaled(dx, a.Wk.Backward(dk), 1)

@@ -20,74 +20,103 @@ import (
 // touches the layers' backward caches, so one trained model can serve
 // concurrent ForwardClsBatch/NextTokenLogitsBatch calls from many goroutines
 // (the property core.Server's worker pool and core.DetectTraces rely on).
+//
+// Every temporary — packed activations, per-sequence attention scores, even
+// the per-sequence view headers — is drawn from a tensor.Workspace arena.
+// The exported methods come in pairs: the plain form borrows a workspace
+// from the package pool for the duration of the call, while the WS form
+// (ForwardClsBatchWS, ScoreChoiceBatchWithCacheWS, ...) lets a long-lived
+// owner such as a core.Server worker reuse its own arena across batches.
+// Results returned by either form are always fresh heap allocations, never
+// arena-backed, so callers may Reset the workspace freely afterwards.
 
 // EncodeBatch embeds each sequence and runs the packed batch through the
 // block stack and final layer norm, returning the packed hidden states
 // [ΣTᵢ, dModel] and the segment offsets. Sequences longer than MaxSeqLen are
 // truncated keeping the head (as Encode does); empty sequences panic.
 func (m *Model) EncodeBatch(seqs [][]int) (*tensor.Matrix, []int) {
-	seqs = append([][]int(nil), seqs...) // truncation must not mutate the caller's batch
-	lens := make([]int, len(seqs))
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	h, offsets := m.encodeBatch(seqs, ws)
+	return h.Clone(), append([]int(nil), offsets...)
+}
+
+// encodeBatch is EncodeBatch on a caller-owned workspace; the returned matrix
+// and offsets slice are arena-backed and die at the workspace's next Reset.
+func (m *Model) encodeBatch(seqs [][]int, ws *tensor.Workspace) (*tensor.Matrix, []int) {
+	truncated := false
 	for i, ids := range seqs {
 		if len(ids) == 0 {
 			panic("transformer: EncodeBatch on empty sequence")
 		}
 		if len(ids) > m.Config.MaxSeqLen {
-			ids = ids[:m.Config.MaxSeqLen]
-			seqs[i] = ids
+			if !truncated {
+				// Truncation must not mutate the caller's batch.
+				seqs = append([][]int(nil), seqs...)
+				truncated = true
+			}
+			seqs[i] = ids[:m.Config.MaxSeqLen]
 		}
-		lens[i] = len(ids)
 	}
-	offsets := tensor.Offsets(lens)
-	h := m.embedBatch(seqs, offsets, 0)
+	offsets := ws.GetInts(len(seqs) + 1)
+	offsets[0] = 0
+	for i, ids := range seqs {
+		offsets[i+1] = offsets[i] + len(ids)
+	}
+	h := m.embedBatch(seqs, offsets, 0, ws)
 	for _, b := range m.Blocks {
-		h, _ = b.inferBatch(h, offsets, LayerKV{})
+		h, _ = b.inferBatch(h, offsets, LayerKV{}, ws, false)
 	}
-	return m.FinalLN.Infer(h), offsets
+	return m.FinalLN.Infer(h, ws), offsets
 }
 
 // embedBatch gathers token+position embeddings for the packed batch.
 // Positions restart at posStart for every sequence (posStart is nonzero when
 // the batch continues a cached shared prefix).
-func (m *Model) embedBatch(seqs [][]int, offsets []int, posStart int) *tensor.Matrix {
+func (m *Model) embedBatch(seqs [][]int, offsets []int, posStart int, ws *tensor.Workspace) *tensor.Matrix {
 	total := offsets[len(offsets)-1]
-	flat := make([]int, 0, total)
-	pos := make([]int, 0, total)
+	flat := ws.GetInts(total)
+	pos := ws.GetInts(total)
+	n := 0
 	for _, ids := range seqs {
-		flat = append(flat, ids...)
-		for p := range ids {
-			pos = append(pos, posStart+p)
+		for p, id := range ids {
+			flat[n] = id
+			pos[n] = posStart + p
+			n++
 		}
 	}
-	h := m.TokEmb.Infer(flat)
-	pe := m.PosEmb.Infer(pos)
+	h := m.TokEmb.Infer(flat, ws)
+	pe := m.PosEmb.Infer(pos, ws)
 	return tensor.Add(h, h, pe)
 }
 
-// inferBatch runs the block over a packed batch using read-only forwards,
-// returning the output and the attention layer's packed K/V projections
-// (meaningful for cache construction when the batch is one sequence). When
-// past holds cached keys/values, every sequence in the batch additionally
-// attends over that shared prefix.
-func (b *Block) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV) (*tensor.Matrix, LayerKV) {
-	h := b.LN1.Infer(x)
-	h, kv := b.Attn.inferBatch(h, offsets, past)
+// inferBatch runs the block over a packed batch using read-only forwards on
+// the workspace arena. When past holds cached keys/values, every sequence in
+// the batch additionally attends over that shared prefix. With capture set,
+// the attention layer's packed K/V projections are heap-allocated and
+// returned for cache construction (meaningful when the batch is one
+// sequence); otherwise the returned LayerKV is empty.
+func (b *Block) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV, ws *tensor.Workspace, capture bool) (*tensor.Matrix, LayerKV) {
+	h := b.LN1.Infer(x, ws)
+	h, kv := b.Attn.inferBatch(h, offsets, past, ws, capture)
 	x1 := tensor.Add(h, x, h)
 
-	h2 := b.LN2.Infer(x1)
-	h2 = b.FF1.Infer(h2)
-	h2 = b.Act.Infer(h2)
-	h2 = b.FF2.Infer(h2)
+	h2 := b.LN2.Infer(x1, ws)
+	h2 = b.FF1.Infer(h2, ws)
+	h2 = b.Act.Infer(h2, ws)
+	h2 = b.FF2.Infer(h2, ws)
 	return tensor.Add(h2, x1, h2), kv
 }
 
 // inferBatch computes self-attention over a packed batch: the four
-// projections run on the whole packed matrix, attention scores are formed
-// per sequence so no position attends across a sequence boundary. With a
-// non-empty past (causal models only), every sequence attends the shared
-// cached prefix before its own positions — the batched form of
-// forwardInfer's KV-cache reuse. Returns the packed current K/V projections.
-func (a *MultiHeadAttention) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV) (*tensor.Matrix, LayerKV) {
+// projections run on the whole packed matrix; attention heads are column
+// windows of the packed projections addressed by the strided kernels, so no
+// per-head (or per-sequence) data is copied and no scores cross a sequence
+// boundary. With a non-empty past (causal models only), every sequence
+// attends the shared cached prefix before its own positions. The fused
+// ScaledMaskedRowSoftmax applies scaling, causal masking, and softmax in one
+// pass over each score row.
+func (a *MultiHeadAttention) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV, ws *tensor.Workspace, capture bool) (*tensor.Matrix, LayerKV) {
 	Tp := 0
 	if past.K != nil {
 		if !a.Causal {
@@ -96,71 +125,51 @@ func (a *MultiHeadAttention) inferBatch(x *tensor.Matrix, offsets []int, past La
 		Tp = past.K.Rows
 	}
 	dh := a.DModel / a.NumHeads
-	q := nn.Infer(a.Wq, x)
-	k := nn.Infer(a.Wk, x)
-	v := nn.Infer(a.Wv, x)
-	concat := tensor.New(x.Rows, a.DModel)
+	q := nn.Infer(a.Wq, x, ws)
+	kvws := ws
+	if capture {
+		kvws = nil // captured K/V must outlive the workspace
+	}
+	k := nn.Infer(a.Wk, x, kvws)
+	v := nn.Infer(a.Wv, x, kvws)
+	concat := ws.Get(x.Rows, a.DModel)
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	for h := 0; h < a.NumHeads; h++ {
-		// The prefix head views are shared by every sequence in the batch.
-		var pkh, pvh *tensor.Matrix
-		if Tp > 0 {
-			pkh = headView(past.K, h, dh)
-			pvh = headView(past.V, h, dh)
-		}
-		for s := 0; s+1 < len(offsets); s++ {
-			lo, hi := offsets[s], offsets[s+1]
-			T := hi - lo
-			qh := headView(q.RowView(lo, hi), h, dh)
-			kh := headView(k.RowView(lo, hi), h, dh)
-			vh := headView(v.RowView(lo, hi), h, dh)
-			// scores over [past | current] keys: [T, Tp+T].
-			scores := tensor.New(T, Tp+T)
+	for s := 0; s+1 < len(offsets); s++ {
+		lo, hi := offsets[s], offsets[s+1]
+		T := hi - lo
+		qs := ws.RowView(q, lo, hi)
+		ks := ws.RowView(k, lo, hi)
+		vs := ws.RowView(v, lo, hi)
+		cs := ws.RowView(concat, lo, hi)
+		// scores over [past | current] keys: [T, Tp+T], reused across heads.
+		scores := ws.Get(T, Tp+T)
+		for h := 0; h < a.NumHeads; h++ {
+			off := h * dh
 			if Tp > 0 {
-				left := tensor.MatMulT(nil, qh, pkh)
-				for i := 0; i < T; i++ {
-					copy(scores.Row(i)[:Tp], left.Row(i))
-				}
+				tensor.MatMulTStrided(scores, 0, qs, off, past.K, off, dh)
 			}
-			right := tensor.MatMulT(nil, qh, kh)
-			for i := 0; i < T; i++ {
-				row := scores.Row(i)[Tp:]
-				copy(row, right.Row(i))
-				if a.Causal {
-					// All past keys are earlier positions; mask only within
-					// the current chunk.
-					for j := i + 1; j < T; j++ {
-						row[j] = float32(math.Inf(-1))
-					}
-				}
-			}
-			tensor.Scale(scores, scores, scale)
-			tensor.RowSoftmax(scores)
-			// out = probs_past·pastV + probs_cur·curV.
-			out := tensor.New(T, dh)
+			tensor.MatMulTStrided(scores, Tp, qs, off, ks, off, dh)
+			tensor.ScaledMaskedRowSoftmax(scores, scale, Tp, a.Causal)
+			// out = probs_past·pastV + probs_cur·curV, straight into the
+			// head's column window of concat.
 			if Tp > 0 {
-				probsPast := tensor.New(T, Tp)
-				for i := 0; i < T; i++ {
-					copy(probsPast.Row(i), scores.Row(i)[:Tp])
-				}
-				tensor.MatMul(out, probsPast, pvh)
+				tensor.MatMulStrided(cs, off, scores, 0, Tp, past.V, off, dh)
+				tensor.MatMulStridedAcc(cs, off, scores, Tp, T, vs, off, dh)
+			} else {
+				tensor.MatMulStrided(cs, off, scores, 0, T, vs, off, dh)
 			}
-			probsCur := tensor.New(T, T)
-			for i := 0; i < T; i++ {
-				copy(probsCur.Row(i), scores.Row(i)[Tp:])
-			}
-			cur := tensor.MatMul(nil, probsCur, vh)
-			tensor.AddScaled(out, cur, 1)
-			headStore(concat.RowView(lo, hi), out, h, dh)
 		}
 	}
-	return nn.Infer(a.Wo, concat), LayerKV{K: k, V: v}
+	out := nn.Infer(a.Wo, concat, ws)
+	if capture {
+		return out, LayerKV{K: k, V: v}
+	}
+	return out, LayerKV{}
 }
 
-// InferKVCache is BuildKVCache on the read-only inference path: it captures
-// each attention layer's keys and values over the prefix without touching
-// any layer's backward caches, so the resulting cache can be built and used
-// while other goroutines run inference on the same model.
+// InferKVCache captures each attention layer's keys and values over the
+// prefix on the read-only inference path, so a cache can be built while other
+// goroutines run inference on the same model.
 func (m *Model) InferKVCache(prefix []int) *KVCache {
 	if !m.Config.Causal {
 		panic("transformer: KV cache requires a causal model")
@@ -171,12 +180,15 @@ func (m *Model) InferKVCache(prefix []int) *KVCache {
 	if len(prefix) > m.Config.MaxSeqLen {
 		panic("transformer: prefix exceeds MaxSeqLen")
 	}
-	offsets := []int{0, len(prefix)}
-	h := m.embedBatch([][]int{prefix}, offsets, 0)
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	offsets := ws.GetInts(2)
+	offsets[0], offsets[1] = 0, len(prefix)
+	h := m.embedBatchOne(prefix, 0, ws)
 	cache := &KVCache{Len: len(prefix)}
 	for _, b := range m.Blocks {
 		var kv LayerKV
-		h, kv = b.inferBatch(h, offsets, LayerKV{})
+		h, kv = b.inferBatch(h, offsets, LayerKV{}, ws, true)
 		cache.Layers = append(cache.Layers, kv)
 	}
 	return cache
@@ -189,10 +201,19 @@ func (m *Model) InferKVCache(prefix []int) *KVCache {
 // per cache instead of once per query. Every suffix must be non-empty and
 // cache.Len+len(suffix) must fit in MaxSeqLen.
 func (m *Model) NextTokenLogitsBatchWithCache(cache *KVCache, suffixes [][]int) *tensor.Matrix {
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	return m.NextTokenLogitsBatchWithCacheWS(cache, suffixes, ws)
+}
+
+// NextTokenLogitsBatchWithCacheWS is NextTokenLogitsBatchWithCache on a
+// caller-owned workspace. The returned logits are heap-allocated.
+func (m *Model) NextTokenLogitsBatchWithCacheWS(cache *KVCache, suffixes [][]int, ws *tensor.Workspace) *tensor.Matrix {
 	if len(suffixes) == 0 {
 		return tensor.New(0, m.Config.VocabSize)
 	}
-	lens := make([]int, len(suffixes))
+	offsets := ws.GetInts(len(suffixes) + 1)
+	offsets[0] = 0
 	for i, ids := range suffixes {
 		if len(ids) == 0 {
 			panic("transformer: empty suffix")
@@ -200,49 +221,52 @@ func (m *Model) NextTokenLogitsBatchWithCache(cache *KVCache, suffixes [][]int) 
 		if cache.Len+len(ids) > m.Config.MaxSeqLen {
 			panic("transformer: cached sequence exceeds MaxSeqLen")
 		}
-		lens[i] = len(ids)
+		offsets[i+1] = offsets[i] + len(ids)
 	}
-	offsets := tensor.Offsets(lens)
-	h := m.embedBatch(suffixes, offsets, cache.Len)
+	h := m.embedBatch(suffixes, offsets, cache.Len, ws)
 	for li, b := range m.Blocks {
-		h, _ = b.inferBatch(h, offsets, cache.Layers[li])
+		h, _ = b.inferBatch(h, offsets, cache.Layers[li], ws, false)
 	}
-	h = m.FinalLN.Infer(h)
-	last := tensor.New(len(suffixes), m.Config.DModel)
+	h = m.FinalLN.Infer(h, ws)
+	last := ws.Get(len(suffixes), m.Config.DModel)
 	for s := 0; s+1 < len(offsets); s++ {
 		copy(last.Row(s), h.Row(offsets[s+1]-1))
 	}
-	return m.LMHead.Infer(last)
+	return m.LMHead.Infer(last, nil)
 }
 
 // ScoreChoiceBatchWithCache is ScoreChoiceWithCache over a batch of suffixes
 // sharing one cached prefix.
 func (m *Model) ScoreChoiceBatchWithCache(cache *KVCache, suffixes [][]int, choices []int) ([]int, [][]float32) {
-	logits := m.NextTokenLogitsBatchWithCache(cache, suffixes)
-	best := make([]int, len(suffixes))
-	probs := make([][]float32, len(suffixes))
-	for i := range suffixes {
-		row := logits.Row(i)
-		sub := make([]float32, len(choices))
-		for c, id := range choices {
-			sub[c] = row[id]
-		}
-		tensor.Softmax(sub)
-		best[i] = tensor.ArgMax(sub)
-		probs[i] = sub
-	}
-	return best, probs
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	return m.ScoreChoiceBatchWithCacheWS(cache, suffixes, choices, ws)
+}
+
+// ScoreChoiceBatchWithCacheWS is ScoreChoiceBatchWithCache on a caller-owned
+// workspace.
+func (m *Model) ScoreChoiceBatchWithCacheWS(cache *KVCache, suffixes [][]int, choices []int, ws *tensor.Workspace) ([]int, [][]float32) {
+	logits := m.NextTokenLogitsBatchWithCacheWS(cache, suffixes, ws)
+	return chooseFromLogits(logits, len(suffixes), choices)
 }
 
 // ForwardClsBatch classifies a batch of sequences in one packed forward pass,
 // returning logits [B, NumClasses]. Row i matches ForwardCls(seqs[i], false)
 // exactly. The classification head runs only on the B pooled vectors.
 func (m *Model) ForwardClsBatch(seqs [][]int) *tensor.Matrix {
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	return m.ForwardClsBatchWS(seqs, ws)
+}
+
+// ForwardClsBatchWS is ForwardClsBatch on a caller-owned workspace. The
+// returned logits are heap-allocated.
+func (m *Model) ForwardClsBatchWS(seqs [][]int, ws *tensor.Workspace) *tensor.Matrix {
 	if len(seqs) == 0 {
 		return tensor.New(0, m.Config.NumClasses)
 	}
-	h, offsets := m.EncodeBatch(seqs)
-	pooled := tensor.New(len(seqs), m.Config.DModel)
+	h, offsets := m.encodeBatch(seqs, ws)
+	pooled := ws.GetZeroed(len(seqs), m.Config.DModel)
 	for s := 0; s+1 < len(offsets); s++ {
 		lo, hi := offsets[s], offsets[s+1]
 		pr := pooled.Row(s)
@@ -257,7 +281,7 @@ func (m *Model) ForwardClsBatch(seqs [][]int) *tensor.Matrix {
 			}
 		}
 	}
-	return m.ClsHead.Infer(pooled)
+	return m.ClsHead.Infer(pooled, nil)
 }
 
 // NextTokenLogitsBatch returns next-token logits [B, VocabSize] for a batch
@@ -271,6 +295,8 @@ func (m *Model) NextTokenLogitsBatch(prompts [][]int) *tensor.Matrix {
 	if len(prompts) == 0 {
 		return tensor.New(0, m.Config.VocabSize)
 	}
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
 	seqs := make([][]int, len(prompts))
 	for i, ids := range prompts {
 		if len(ids) > m.Config.MaxSeqLen {
@@ -278,12 +304,12 @@ func (m *Model) NextTokenLogitsBatch(prompts [][]int) *tensor.Matrix {
 		}
 		seqs[i] = ids
 	}
-	h, offsets := m.EncodeBatch(seqs)
-	last := tensor.New(len(seqs), m.Config.DModel)
+	h, offsets := m.encodeBatch(seqs, ws)
+	last := ws.Get(len(seqs), m.Config.DModel)
 	for s := 0; s+1 < len(offsets); s++ {
 		copy(last.Row(s), h.Row(offsets[s+1]-1))
 	}
-	return m.LMHead.Infer(last)
+	return m.LMHead.Infer(last, nil)
 }
 
 // ScoreChoiceBatch is ScoreChoice over a batch of prompts: for each prompt it
@@ -291,9 +317,15 @@ func (m *Model) NextTokenLogitsBatch(prompts [][]int) *tensor.Matrix {
 // just those choices.
 func (m *Model) ScoreChoiceBatch(prompts [][]int, choices []int) ([]int, [][]float32) {
 	logits := m.NextTokenLogitsBatch(prompts)
-	best := make([]int, len(prompts))
-	probs := make([][]float32, len(prompts))
-	for i := range prompts {
+	return chooseFromLogits(logits, len(prompts), choices)
+}
+
+// chooseFromLogits reduces per-row vocabulary logits to the best index and
+// softmax over the candidate choice tokens.
+func chooseFromLogits(logits *tensor.Matrix, n int, choices []int) ([]int, [][]float32) {
+	best := make([]int, n)
+	probs := make([][]float32, n)
+	for i := 0; i < n; i++ {
 		row := logits.Row(i)
 		sub := make([]float32, len(choices))
 		for c, id := range choices {

@@ -1,8 +1,6 @@
 package transformer
 
 import (
-	"math"
-
 	"repro/internal/tensor"
 )
 
@@ -18,9 +16,10 @@ type LayerKV struct {
 // full-prompt forward pass into a suffix-only pass (the same optimization
 // production LLM servers apply to shared system prompts).
 //
-// A cache is read-only after construction and safe to share across
-// sequential queries (it is NOT safe for concurrent use, since the model's
-// layers cache activations during forward passes).
+// A cache is read-only after construction. The suffix paths that consume it
+// (NextTokenLogitsWithCache, ScoreChoiceWithCache, and the batched variants)
+// run on the read-only workspace-backed forwards, so one cache can serve
+// concurrent queries from many goroutines.
 type KVCache struct {
 	Layers []LayerKV
 	// Len is the prefix length in tokens.
@@ -31,50 +30,47 @@ type KVCache struct {
 // attention layer's keys and values. The model must be causal and the prefix
 // must fit in MaxSeqLen.
 func (m *Model) BuildKVCache(prefix []int) *KVCache {
-	if !m.Config.Causal {
-		panic("transformer: KV cache requires a causal model")
-	}
-	if len(prefix) == 0 {
-		panic("transformer: empty prefix")
-	}
-	if len(prefix) > m.Config.MaxSeqLen {
-		panic("transformer: prefix exceeds MaxSeqLen")
-	}
-	cache := &KVCache{Len: len(prefix)}
-	h := m.embed(prefix, 0)
-	for _, b := range m.Blocks {
-		var kv LayerKV
-		h, kv = b.forwardCapture(h)
-		cache.Layers = append(cache.Layers, kv)
-	}
-	return cache
+	return m.InferKVCache(prefix)
 }
 
 // NextTokenLogitsWithCache computes the next-token logits for prefix+suffix,
-// reusing the cached prefix. The cache is not mutated. Results are identical
-// to NextTokenLogits over the concatenation (up to float addition order).
+// reusing the cached prefix. The cache is not mutated and the pass is
+// read-only on the model. Results are identical to NextTokenLogits over the
+// concatenation (up to float addition order).
 func (m *Model) NextTokenLogitsWithCache(cache *KVCache, suffix []int) []float32 {
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	return m.nextTokenLogitsWithCache(cache, suffix, ws)
+}
+
+func (m *Model) nextTokenLogitsWithCache(cache *KVCache, suffix []int, ws *tensor.Workspace) []float32 {
 	if len(suffix) == 0 {
 		panic("transformer: empty suffix")
 	}
 	if cache.Len+len(suffix) > m.Config.MaxSeqLen {
 		panic("transformer: cached sequence exceeds MaxSeqLen")
 	}
-	h := m.embed(suffix, cache.Len)
+	offsets := ws.GetInts(2)
+	offsets[0], offsets[1] = 0, len(suffix)
+	h := m.embedBatchOne(suffix, cache.Len, ws)
 	for li, b := range m.Blocks {
-		h = b.forwardWithPast(h, cache.Layers[li])
+		h, _ = b.inferBatch(h, offsets, cache.Layers[li], ws, false)
 	}
-	h = m.FinalLN.Forward(h, false)
-	logits := m.LMHead.Forward(h, false)
+	// Only the final position feeds the next-token logits; run the LN and LM
+	// head on that single row.
+	last := ws.RowView(h, h.Rows-1, h.Rows)
+	logits := m.LMHead.Infer(m.FinalLN.Infer(last, ws), ws)
 	out := make([]float32, logits.Cols)
-	copy(out, logits.Row(logits.Rows-1))
+	copy(out, logits.Row(0))
 	return out
 }
 
 // ScoreChoiceWithCache is ScoreChoice with a cached prefix: it returns the
 // best choice index and the softmax over the candidate tokens' logits.
 func (m *Model) ScoreChoiceWithCache(cache *KVCache, suffix []int, choices []int) (int, []float32) {
-	logits := m.NextTokenLogitsWithCache(cache, suffix)
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	logits := m.nextTokenLogitsWithCache(cache, suffix, ws)
 	sub := make([]float32, len(choices))
 	for i, c := range choices {
 		sub[i] = logits[c]
@@ -83,106 +79,14 @@ func (m *Model) ScoreChoiceWithCache(cache *KVCache, suffix []int, choices []int
 	return tensor.ArgMax(sub), sub
 }
 
-// embed returns token+position embeddings for ids at absolute positions
-// starting at posStart (inference-only: no backward bookkeeping is kept).
-func (m *Model) embed(ids []int, posStart int) *tensor.Matrix {
-	pos := make([]int, len(ids))
+// embedBatchOne is embedBatch for a single sequence, avoiding the packed
+// batch plumbing on the per-token decode path.
+func (m *Model) embedBatchOne(ids []int, posStart int, ws *tensor.Workspace) *tensor.Matrix {
+	pos := ws.GetInts(len(ids))
 	for i := range pos {
 		pos[i] = posStart + i
 	}
-	h := m.TokEmb.Forward(ids)
-	pe := m.PosEmb.Forward(pos)
-	return tensor.Add(nil, h, pe)
-}
-
-// forwardCapture is Block.Forward in eval mode that additionally returns the
-// attention layer's key/value projections for caching.
-func (b *Block) forwardCapture(x *tensor.Matrix) (*tensor.Matrix, LayerKV) {
-	h := b.LN1.Forward(x, false)
-	attnOut, kv := b.Attn.forwardInfer(h, LayerKV{})
-	x1 := tensor.Add(nil, x, attnOut)
-	h2 := b.LN2.Forward(x1, false)
-	h2 = b.FF1.Forward(h2, false)
-	h2 = b.Act.Forward(h2, false)
-	h2 = b.FF2.Forward(h2, false)
-	return tensor.Add(nil, x1, h2), kv
-}
-
-// forwardWithPast is Block.Forward in eval mode where attention additionally
-// attends over cached past keys/values.
-func (b *Block) forwardWithPast(x *tensor.Matrix, past LayerKV) *tensor.Matrix {
-	h := b.LN1.Forward(x, false)
-	attnOut, _ := b.Attn.forwardInfer(h, past)
-	x1 := tensor.Add(nil, x, attnOut)
-	h2 := b.LN2.Forward(x1, false)
-	h2 = b.FF1.Forward(h2, false)
-	h2 = b.Act.Forward(h2, false)
-	h2 = b.FF2.Forward(h2, false)
-	return tensor.Add(nil, x1, h2)
-}
-
-// forwardInfer computes causal self-attention for x given optional past
-// keys/values (attended by every query position), returning the output and
-// the current K/V projections (for cache construction). Inference-only: no
-// state is kept for a backward pass.
-func (a *MultiHeadAttention) forwardInfer(x *tensor.Matrix, past LayerKV) (*tensor.Matrix, LayerKV) {
-	if !a.Causal {
-		panic("transformer: forwardInfer requires causal attention")
-	}
-	Tq := x.Rows
-	Tp := 0
-	if past.K != nil {
-		Tp = past.K.Rows
-	}
-	dh := a.DModel / a.NumHeads
-	q := a.Wq.Forward(x, false)
-	k := a.Wk.Forward(x, false)
-	v := a.Wv.Forward(x, false)
-	concat := tensor.New(Tq, a.DModel)
-	scale := float32(1 / math.Sqrt(float64(dh)))
-	for h := 0; h < a.NumHeads; h++ {
-		qh := headView(q, h, dh)
-		kh := headView(k, h, dh)
-		vh := headView(v, h, dh)
-		// scores over [past | current] keys: [Tq, Tp+Tq].
-		scores := tensor.New(Tq, Tp+Tq)
-		if Tp > 0 {
-			pkh := headView(past.K, h, dh)
-			left := tensor.MatMulT(nil, qh, pkh)
-			for i := 0; i < Tq; i++ {
-				copy(scores.Row(i)[:Tp], left.Row(i))
-			}
-		}
-		right := tensor.MatMulT(nil, qh, kh)
-		for i := 0; i < Tq; i++ {
-			row := scores.Row(i)[Tp:]
-			copy(row, right.Row(i))
-			// Causal mask within the current chunk: query i may attend
-			// current keys 0..i (all past keys are earlier positions).
-			for j := i + 1; j < Tq; j++ {
-				row[j] = float32(math.Inf(-1))
-			}
-		}
-		tensor.Scale(scores, scores, scale)
-		tensor.RowSoftmax(scores)
-		// out = probs_past·pastV + probs_cur·curV.
-		out := tensor.New(Tq, dh)
-		if Tp > 0 {
-			pvh := headView(past.V, h, dh)
-			probsPast := tensor.New(Tq, Tp)
-			for i := 0; i < Tq; i++ {
-				copy(probsPast.Row(i), scores.Row(i)[:Tp])
-			}
-			tensor.MatMul(out, probsPast, pvh)
-		}
-		probsCur := tensor.New(Tq, Tq)
-		for i := 0; i < Tq; i++ {
-			copy(probsCur.Row(i), scores.Row(i)[Tp:])
-		}
-		cur := tensor.MatMul(nil, probsCur, vh)
-		tensor.AddScaled(out, cur, 1)
-		headStore(concat, out, h, dh)
-	}
-	y := a.Wo.Forward(concat, false)
-	return y, LayerKV{K: k, V: v}
+	h := m.TokEmb.Infer(ids, ws)
+	pe := m.PosEmb.Infer(pos, ws)
+	return tensor.Add(h, h, pe)
 }

@@ -1,0 +1,154 @@
+package transformer
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// referenceAttentionForward is the pre-strided attention implementation:
+// every head is copied out of the packed projections, run through the dense
+// kernels, and added back. It uses the same fused softmax as the production
+// path, so the strided rewrite must match it bitwise — the only difference
+// is data movement, not arithmetic.
+func referenceAttentionForward(a *MultiHeadAttention, x *tensor.Matrix) *tensor.Matrix {
+	dh := a.DModel / a.NumHeads
+	headView := func(m *tensor.Matrix, h int) *tensor.Matrix {
+		out := tensor.New(m.Rows, dh)
+		for i := 0; i < m.Rows; i++ {
+			copy(out.Row(i), m.Row(i)[h*dh:(h+1)*dh])
+		}
+		return out
+	}
+	q := nn.Infer(a.Wq, x, nil)
+	k := nn.Infer(a.Wk, x, nil)
+	v := nn.Infer(a.Wv, x, nil)
+	concat := tensor.New(x.Rows, a.DModel)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for h := 0; h < a.NumHeads; h++ {
+		scores := tensor.MatMulT(nil, headView(q, h), headView(k, h))
+		tensor.ScaledMaskedRowSoftmax(scores, scale, 0, a.Causal)
+		out := tensor.MatMul(nil, scores, headView(v, h))
+		for i := 0; i < out.Rows; i++ {
+			copy(concat.Row(i)[h*dh:(h+1)*dh], out.Row(i))
+		}
+	}
+	return nn.Infer(a.Wo, concat, nil)
+}
+
+// TestStridedAttentionMatchesCopyingBitwise is the core strided-kernel
+// equivalence property: attention over head views must equal attention over
+// head copies bit for bit, for both the training Forward and the batched
+// read-only path.
+func TestStridedAttentionMatchesCopyingBitwise(t *testing.T) {
+	for _, causal := range []bool{false, true} {
+		rng := tensor.NewRNG(91)
+		a := NewMultiHeadAttention("strided", 32, 4, causal, rng)
+		x := tensor.New(7, 32)
+		tensor.Gaussian(x, 1, rng)
+
+		want := referenceAttentionForward(a, x)
+		if got := a.Forward(x, false); !got.Equal(want) {
+			t.Fatalf("causal=%v: training Forward differs from copying reference", causal)
+		}
+		ws := tensor.NewWorkspace()
+		got, _ := a.inferBatch(x, []int{0, x.Rows}, LayerKV{}, ws, false)
+		if !got.Equal(want) {
+			t.Fatalf("causal=%v: batched inferBatch differs from copying reference", causal)
+		}
+	}
+}
+
+// TestKVCacheDecodeAllocations pins the steady-state allocation count of the
+// per-token decode step (the ICL serving hot path) at near-zero: only the
+// returned logits/probability slices may allocate, never the forward pass's
+// temporaries.
+func TestKVCacheDecodeAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := New(smallConfig(true), tensor.NewRNG(92))
+	cache := m.InferKVCache([]int{1, 2, 3, 4, 5, 6})
+	suffix := []int{7, 8}
+	choices := []int{1, 2}
+	m.ScoreChoiceWithCache(cache, suffix, choices) // warm the workspace pool
+	allocs := testing.AllocsPerRun(100, func() {
+		m.ScoreChoiceWithCache(cache, suffix, choices)
+	})
+	// Budget: the logits copy and the choice-probability slice (measured: 2)
+	// plus headroom for pool/GC noise. The pre-workspace implementation
+	// allocated hundreds of matrices per call here.
+	if allocs > 4 {
+		t.Fatalf("KV-cache decode step allocates %v times per op, want ≤ 4", allocs)
+	}
+}
+
+// TestEncodeBatchAllocations pins the packed batched forward on a
+// caller-owned workspace at near-zero steady-state allocations (the
+// classification head's returned logits are the only per-call allocation).
+func TestEncodeBatchAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := New(smallConfig(false), tensor.NewRNG(93))
+	seqs := [][]int{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
+	ws := tensor.NewWorkspace()
+	ws.Reset()
+	m.ForwardClsBatchWS(seqs, ws) // warm the arena for this batch shape
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Reset()
+		m.ForwardClsBatchWS(seqs, ws)
+	})
+	if allocs > 4 {
+		t.Fatalf("ForwardClsBatchWS allocates %v times per op, want ≤ 4", allocs)
+	}
+}
+
+// TestWorkspaceForwardIsConcurrencySafe exercises the workspace-threaded
+// batch paths from many goroutines — each with its own arena, all sharing
+// one model and one KV cache — under -race.
+func TestWorkspaceForwardIsConcurrencySafe(t *testing.T) {
+	enc := batchTestModel(false)
+	seqs := batchTestSeqs(5, enc.Config.VocabSize, enc.Config.MaxSeqLen, 23)
+	wantCls := enc.ForwardClsBatch(seqs)
+
+	dec := batchTestModel(true)
+	prefix := batchTestSeqs(1, dec.Config.VocabSize, dec.Config.MaxSeqLen/2, 29)[0]
+	cache := dec.InferKVCache(prefix)
+	suffixes := batchTestSeqs(4, dec.Config.VocabSize, dec.Config.MaxSeqLen-len(prefix), 31)
+	wantBest, _ := dec.ScoreChoiceBatchWithCache(cache, suffixes, []int{3, 4})
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := tensor.GetWorkspace()
+			defer tensor.PutWorkspace(ws)
+			for rep := 0; rep < 5; rep++ {
+				ws.Reset()
+				if got := enc.ForwardClsBatchWS(seqs, ws); !got.Equal(wantCls) {
+					errs <- "concurrent ForwardClsBatchWS diverged"
+					return
+				}
+				ws.Reset()
+				best, _ := dec.ScoreChoiceBatchWithCacheWS(cache, suffixes, []int{3, 4}, ws)
+				for i := range best {
+					if best[i] != wantBest[i] {
+						errs <- "concurrent cached scoring diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,27 @@
+# benchjson.awk — convert `go test -bench -benchmem` output into the
+# BENCH_N.json record the repo keeps per perf PR (ns/op, B/op, allocs/op per
+# benchmark). Usage:
+#   go test -run '^$' -bench ... -benchmem . | awk -v date=... -f scripts/benchjson.awk
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && / ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	names[n] = name
+	ns[n] = $3
+	bytes[n] = ($5 != "" ? $5 : 0)
+	allocs[n] = ($7 != "" ? $7 : 0)
+	n++
+}
+END {
+	printf "{\n"
+	printf "  \"recorded\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"command\": \"make bench\",\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			names[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}
