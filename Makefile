@@ -4,10 +4,11 @@
 GO ?= go
 
 # The kernel + end-to-end serving benchmarks `make bench` runs and records to
-# BENCH_2.json: tensor kernels, the zero-allocation hot paths, and the
-# batched serving pairs (sequential vs batch at the same work per op).
-BENCH_PATTERN := MatMul128|MatMulBlockedTall|AttentionForward|DecoderNextToken|KVCacheDecode|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|ServerCoalesced
-BENCH_OUT := BENCH_2.json
+# BENCH_3.json: tensor kernels, the zero-allocation hot paths, the batched
+# serving pairs (sequential vs batch at the same work per op), and the
+# streaming-monitor pair (per-line vs chunked micro-batches on a 1k-line log).
+BENCH_PATTERN := MatMul128|MatMulBlockedTall|AttentionForward|DecoderNextToken|KVCacheDecode|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|ServerCoalesced|Monitor|MonitorSequential
+BENCH_OUT := BENCH_3.json
 
 .PHONY: check fmt vet build test bench bench-all
 

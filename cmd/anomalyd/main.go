@@ -7,17 +7,31 @@
 //
 //	POST /v1/detect        {"sentence": "wms_delay is 6.0 ..."} or {"log_line": "wf=... runtime=..."}
 //	POST /v1/detect/batch  {"sentences": [...]}
+//	POST /v1/monitor       raw log lines (or {"lines": [...]}) → monitor report
+//	GET  /v1/alerts        SSE stream of alerts + trace-flagged verdicts
 //	GET  /healthz
 //
 // Concurrent requests are micro-batched through a coalescing worker pool;
-// -max-batch, -flush, and -workers tune it (see docs/API.md).
+// -max-batch, -flush, and -workers tune it (see docs/API.md). With -tail the
+// daemon also follows a growing log file (the paper's Section IV-C loop):
+// each appended line is classified through the batched monitor and abnormal
+// lines are logged and streamed to /v1/alerts subscribers.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open SSE
+// streams and the tail loop end, in-flight requests finish, and only then
+// are the inference workers released.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +52,10 @@ func main() {
 		maxBatch = flag.Int("max-batch", 32, "max sentences per batched model invocation")
 		flush    = flag.Duration("flush", 2*time.Millisecond, "coalescing flush deadline for partial batches (0 = flush when idle)")
 		workers  = flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
+		maxReq   = flag.Int("max-request", 0, "per-request sentence cap on /v1/detect/batch (0 = default 2048)")
+		tail     = flag.String("tail", "", "log file to follow and classify (empty = serve only)")
+		tailPoll = flag.Duration("tail-poll", 500*time.Millisecond, "poll interval while waiting for new -tail data")
+		strict   = flag.Bool("strict", false, "abort -tail on the first malformed line instead of skipping it")
 	)
 	flag.Parse()
 
@@ -56,13 +74,105 @@ func main() {
 		log.Fatal("anomalyd: ", err)
 	}
 	log.Printf("detector ready: %d params, held-out %s", report.Params, report.Test)
+
+	// Signals are only captured once there is something to wind down.
+	// Installing the handler before the minutes-long training phase would
+	// swallow Ctrl-C and make the process unkillable until training ends.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	handler := core.NewServerWith(det, core.BatchConfig{
-		MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers,
+		MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers, MaxRequest: *maxReq,
 	})
-	defer handler.Close()
+
+	tailDone := make(chan struct{})
+	if *tail == "" {
+		close(tailDone)
+	} else {
+		go func() {
+			defer close(tailDone)
+			tailLog(ctx, handler, *tail, *tailPoll, *strict)
+		}()
+	}
+
 	log.Printf("listening on %s (max batch %d, flush %s)", *addr, *maxBatch, *flush)
 	srv := &http.Server{Addr: *addr, Handler: handler}
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(fmt.Errorf("anomalyd: %w", err))
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		handler.Close()
+		log.Fatal("anomalyd: ", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop the SSE streams and tail loop so Shutdown's
+	// wait on active connections can complete, let in-flight requests
+	// finish, then release the inference workers. log.Fatal here would skip
+	// all of this and leak the worker pool.
+	log.Print("shutting down...")
+	stop()
+	handler.CloseStreams()
+	<-tailDone
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("anomalyd: shutdown: %v", err)
+	}
+	handler.Close()
+	log.Print("bye")
+}
+
+// tailLog follows path like `tail -f`, feeding appended lines through the
+// server's streaming monitor until ctx is cancelled. Alerts are logged and
+// published to /v1/alerts subscribers.
+func tailLog(ctx context.Context, srv *core.Server, path string, poll time.Duration, strict bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Printf("anomalyd: tail: %v", err)
+		return
+	}
+	defer f.Close()
+	log.Printf("tailing %s (poll %s)", path, poll)
+	consoleSink := core.SinkFuncs{
+		OnAlert: func(a core.Alert) {
+			log.Printf("ALERT trace=%d node=%d %s [%s]", a.Job.TraceID, a.Job.NodeIndex, a.Result, a.Line)
+		},
+		OnTrace: func(v core.TraceVerdict) {
+			log.Printf("TRACE FLAGGED trace=%d anomalous=%d/%d (%.0f%%)",
+				v.TraceID, v.Anomalous, v.Jobs, 100*v.Fraction())
+		},
+	}
+	report, err := srv.MonitorIngest(ctx, &follower{ctx: ctx, f: f, poll: poll}, strict, consoleSink)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("anomalyd: tail: %v", err)
+	}
+	log.Printf("tail done: %d processed, %d alerts, %d malformed, %d traces flagged",
+		report.Processed, report.Alerts, report.Malformed, report.FlaggedTraces)
+}
+
+// follower turns a growing file into a blocking reader: at end-of-file it
+// polls for appended data instead of returning io.EOF, until ctx is done.
+type follower struct {
+	ctx  context.Context
+	f    *os.File
+	poll time.Duration
+}
+
+func (fr *follower) Read(p []byte) (int, error) {
+	for {
+		n, err := fr.f.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		select {
+		case <-fr.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(fr.poll):
+		}
 	}
 }

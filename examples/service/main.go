@@ -55,13 +55,14 @@ func main() {
 		logBuf.WriteByte('\n')
 	}
 	fmt.Println("streaming the execution log through core.Monitor:")
-	processed, alerts, err := core.Monitor(det, &logBuf, func(a core.Alert) {
+	mrep, err := core.Monitor(det, &logBuf, func(a core.Alert) {
 		fmt.Printf("  ALERT %s: %s\n", a.Result, truncate(logparse.Sentence(a.Job), 60))
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("processed %d lines, %d alerts\n\n", processed, alerts)
+	fmt.Printf("processed %d lines, %d alerts, %d traces flagged online\n\n",
+		mrep.Processed, mrep.Alerts, mrep.FlaggedTraces)
 
 	// 4. Trace-level verdicts.
 	fmt.Println("trace verdicts:")

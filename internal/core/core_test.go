@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -122,15 +123,18 @@ func TestMonitorStream(t *testing.T) {
 	}
 	buf.WriteString("\n") // blank lines are skipped
 	var alerts []Alert
-	processed, nAlerts, err := Monitor(det, &buf, func(a Alert) { alerts = append(alerts, a) })
+	report, err := Monitor(det, &buf, func(a Alert) { alerts = append(alerts, a) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if processed != 40 {
-		t.Fatalf("processed %d, want 40", processed)
+	if report.Processed != 40 {
+		t.Fatalf("processed %d, want 40", report.Processed)
 	}
-	if nAlerts != len(alerts) {
-		t.Fatalf("alert count mismatch: %d vs %d", nAlerts, len(alerts))
+	if report.Alerts != len(alerts) {
+		t.Fatalf("alert count mismatch: %d vs %d", report.Alerts, len(alerts))
+	}
+	if report.Malformed != 0 {
+		t.Fatalf("malformed = %d, want 0", report.Malformed)
 	}
 	for _, a := range alerts {
 		if !a.Result.Abnormal() {
@@ -142,7 +146,7 @@ func TestMonitorStream(t *testing.T) {
 func TestMonitorParseError(t *testing.T) {
 	det, _ := detector(t)
 	r := strings.NewReader("not_a_log_line\n")
-	_, _, err := Monitor(det, r, nil)
+	_, err := MonitorWith(context.Background(), det, r, MonitorConfig{Strict: true})
 	if err == nil || !strings.Contains(err.Error(), "line 1") {
 		t.Fatalf("err = %v", err)
 	}

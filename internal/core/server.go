@@ -1,14 +1,18 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/flowbench"
 	"repro/internal/logparse"
 	"repro/internal/tensor"
 )
@@ -39,6 +43,37 @@ type BatchResponse struct {
 	Results []DetectResponse `json:"results"`
 }
 
+// MonitorRequest is the JSON body of POST /v1/monitor (the endpoint also
+// accepts a plain-text body of newline-separated log lines).
+type MonitorRequest struct {
+	Lines []string `json:"lines"`
+}
+
+// MonitorResponse is the body of POST /v1/monitor responses: the run report,
+// plus the abort error in strict mode.
+type MonitorResponse struct {
+	MonitorReport
+	Error string `json:"error,omitempty"`
+}
+
+// AlertEvent is the SSE wire form of an Alert (`event: alert`).
+type AlertEvent struct {
+	Line   string         `json:"line"`
+	Trace  int            `json:"trace"`
+	Node   int            `json:"node"`
+	Result DetectResponse `json:"result"`
+}
+
+// TraceEvent is the SSE wire form of a trace-flagged verdict
+// (`event: trace`).
+type TraceEvent struct {
+	Trace     int     `json:"trace"`
+	Jobs      int     `json:"jobs"`
+	Anomalous int     `json:"anomalous"`
+	Fraction  float64 `json:"fraction"`
+	Flagged   bool    `json:"flagged"`
+}
+
 // BatchConfig tunes the server's request-coalescing layer.
 type BatchConfig struct {
 	// MaxBatch caps the number of sentences per model invocation
@@ -54,6 +89,15 @@ type BatchConfig struct {
 	Workers int
 	// QueueDepth bounds queued jobs before enqueueing blocks (default 256).
 	QueueDepth int
+	// MaxRequest caps the sentence count of a single HTTP batch request
+	// (default 2048). QueueDepth bounds jobs, not sentences, so without
+	// this cap one huge batch would bypass backpressure entirely.
+	MaxRequest int
+	// Policy is the trace-flagging policy for /v1/monitor ingest (zero
+	// value means DefaultTracePolicy).
+	Policy TracePolicy
+	// MaxTraces bounds the server's online trace window (default 4096).
+	MaxTraces int
 }
 
 // DefaultBatchConfig is the serving recipe used by NewServer: batches of up
@@ -72,16 +116,29 @@ func (c *BatchConfig) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
+	if c.MaxRequest <= 0 {
+		c.MaxRequest = 2048
+	}
+	// Policy and MaxTraces zero values are resolved by NewTraceTracker.
 }
 
 // ErrServerClosed is returned by Detect after Close.
 var ErrServerClosed = errors.New("core: server closed")
 
+// maxJSONBody caps JSON request bodies that must be fully materialized
+// before processing (/v1/detect/batch and /v1/monitor's JSON form). The
+// plain-text /v1/monitor body streams and needs no cap.
+const maxJSONBody = 32 << 20
+
 // detectJob is one coalescable unit of work: the sentences of a single HTTP
 // request (or programmatic Detect call) and the slot their results land in.
+// ctx is the caller's context: a job whose caller has gone away by the time
+// its batch runs is skipped instead of computed for nobody.
 type detectJob struct {
+	ctx       context.Context
 	sentences []string
 	results   []Result
+	err       error // set before done closes when the job was skipped
 	done      chan struct{}
 }
 
@@ -89,6 +146,8 @@ type detectJob struct {
 //
 //	POST /v1/detect        {"sentence": "..."} or {"log_line": "..."}
 //	POST /v1/detect/batch  {"sentences": ["...", ...]}
+//	POST /v1/monitor       raw log lines (or {"lines": [...]}) → MonitorReport
+//	GET  /v1/alerts        SSE stream of alerts + trace-flagged verdicts
 //	GET  /healthz
 //
 // This is the deployment story the paper motivates: system administrators
@@ -110,9 +169,14 @@ type Server struct {
 	jobs    chan *detectJob
 	batches chan []*detectJob
 
-	mu     sync.RWMutex // guards closed vs. enqueue
-	closed bool
-	wg     sync.WaitGroup
+	bus     *alertBus
+	tracker *TraceTracker
+
+	mu          sync.RWMutex // guards closed vs. enqueue
+	closed      bool
+	wg          sync.WaitGroup
+	streams     chan struct{} // closed by CloseStreams: terminates SSE handlers
+	streamsOnce sync.Once
 }
 
 // NewServer wraps a detector in an HTTP handler with the default batching
@@ -129,9 +193,14 @@ func NewServerWith(det Detector, cfg BatchConfig) *Server {
 		cfg:     cfg,
 		jobs:    make(chan *detectJob, cfg.QueueDepth),
 		batches: make(chan []*detectJob, cfg.Workers),
+		bus:     newAlertBus(),
+		tracker: NewTraceTracker(cfg.Policy, cfg.MaxTraces),
+		streams: make(chan struct{}),
 	}
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/detect/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/monitor", s.handleMonitor)
+	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.wg.Add(1)
 	go s.dispatch()
@@ -142,9 +211,11 @@ func NewServerWith(det Detector, cfg BatchConfig) *Server {
 	return s
 }
 
-// Close drains queued requests, stops the inference workers, and fails
-// subsequent Detect calls with ErrServerClosed. It is idempotent.
+// Close drains queued requests, stops the inference workers, terminates any
+// open /v1/alerts streams, and fails subsequent Detect calls with
+// ErrServerClosed. It is idempotent.
 func (s *Server) Close() {
+	s.CloseStreams()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -156,24 +227,141 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// CloseStreams terminates open /v1/alerts SSE connections without stopping
+// the inference workers. Graceful HTTP shutdown needs this first:
+// http.Server.Shutdown waits for active connections, and an SSE stream never
+// goes idle on its own. Call CloseStreams, then http.Server.Shutdown (which
+// lets in-flight detect requests finish), then Close. Idempotent.
+func (s *Server) CloseStreams() {
+	s.streamsOnce.Do(func() { close(s.streams) })
+}
+
 // Detect classifies sentences through the coalescing layer, blocking until
 // their results are ready (in input order). It is the programmatic form of
 // the HTTP endpoints and is safe for concurrent use.
 func (s *Server) Detect(sentences []string) ([]Result, error) {
+	return s.DetectContext(context.Background(), sentences)
+}
+
+// DetectContext is Detect honoring caller cancellation: it returns ctx.Err()
+// as soon as ctx is done, whether the job is still queued or in flight, and
+// the batch runner skips enqueued jobs whose context has already been
+// cancelled instead of computing results nobody will read. The HTTP handlers
+// thread their request contexts through here, so a disconnected client stops
+// occupying a worker.
+func (s *Server) DetectContext(ctx context.Context, sentences []string) ([]Result, error) {
 	if len(sentences) == 0 {
 		return nil, nil
 	}
-	j := &detectJob{sentences: sentences, done: make(chan struct{})}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j := &detectJob{ctx: ctx, sentences: sentences, done: make(chan struct{})}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return nil, ErrServerClosed
 	}
-	s.jobs <- j
-	s.mu.RUnlock()
-	<-j.done
-	return j.results, nil
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case <-j.done:
+		// A skipped job closes done with err set; returning it (rather than
+		// assuming results exist) matters because this select can win the
+		// race against ctx.Done after a cancellation.
+		return j.results, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
+
+// MonitorIngest streams raw log lines from r through the server's
+// micro-batching monitor, folding trace state into the server's persistent
+// tracker and publishing alert and trace-flagged events to /v1/alerts
+// subscribers (plus any extra sinks). It backs POST /v1/monitor and
+// anomalyd's -tail mode.
+//
+// Inference goes through the same coalescing queue as /v1/detect: each
+// chunk is enqueued as one job, so concurrent ingests share the worker
+// pool's backpressure (QueueDepth) instead of spawning their own unbounded
+// inference — /v1/monitor cannot starve detect traffic of workers.
+func (s *Server) MonitorIngest(ctx context.Context, r io.Reader, strict bool, extra ...AlertSink) (MonitorReport, error) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return MonitorReport{}, ErrServerClosed
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	qd := &queueDetector{inner: s.det, s: s, ctx: ctx, cancel: cancel}
+	cfg := MonitorConfig{
+		ChunkSize: s.cfg.MaxBatch,
+		Workers:   s.cfg.Workers,
+		Strict:    strict,
+		Tracker:   s.tracker,
+		Sinks:     append([]AlertSink{busSink{s.bus}}, extra...),
+	}
+	report, err := MonitorWith(ctx, qd, r, cfg)
+	if qerr := qd.firstErr(); qerr != nil && (err == nil || errors.Is(err, context.Canceled)) {
+		err = qerr
+	}
+	return report, err
+}
+
+// queueDetector adapts the server's coalescing Detect path to the monitor's
+// Detector interface: monitor chunks become queue jobs executed by the
+// pooled inference workers (which own the workspaces), rather than direct
+// model calls. On a queue error it cancels the ingest and records the cause.
+type queueDetector struct {
+	inner  Detector
+	s      *Server
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+func (d *queueDetector) DetectBatch(sentences []string) []Result {
+	res, err := d.s.DetectContext(d.ctx, sentences)
+	if err != nil {
+		d.mu.Lock()
+		if d.err == nil && !errors.Is(err, context.Canceled) {
+			d.err = err
+		}
+		d.mu.Unlock()
+		d.cancel()
+		// Nil, not zeroed: the collector folds only returned results into
+		// the report, so a failed chunk is dropped rather than counted as
+		// len(sentences) confident "normal" classifications.
+		return nil
+	}
+	return res
+}
+
+func (d *queueDetector) firstErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *queueDetector) DetectSentence(sentence string) Result {
+	res := d.DetectBatch([]string{sentence})
+	if len(res) == 0 {
+		return Result{}
+	}
+	return res[0]
+}
+func (d *queueDetector) DetectJob(j flowbench.Job) Result {
+	return d.DetectSentence(logparse.Sentence(j))
+}
+func (d *queueDetector) Approach() Approach { return d.inner.Approach() }
 
 // dispatch is the single batch-forming goroutine: it takes one queued job,
 // coalesces more until the batch is full, the flush deadline passes, or the
@@ -237,16 +425,26 @@ func (s *Server) worker() {
 }
 
 // runBatch classifies the coalesced sentences in MaxBatch-sized chunks and
-// hands each job its slice of the results, preserving input order. The
-// worker's workspace is reset between chunks, bounding the arena to one
-// chunk's scratch.
+// hands each job a private copy of its results, preserving input order.
+// Copying (rather than sub-slicing one shared backing array) keeps jobs from
+// aliasing each other's memory once their waiters take ownership. Jobs whose
+// caller already cancelled are skipped entirely — their sentences never
+// reach the model. The worker's workspace is reset between chunks, bounding
+// the arena to one chunk's scratch.
 func (s *Server) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
+	live := make([]*detectJob, 0, len(batch))
 	total := 0
 	for _, j := range batch {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.err = j.ctx.Err()
+			close(j.done) // waiter already gone; unblock any racing reader
+			continue
+		}
+		live = append(live, j)
 		total += len(j.sentences)
 	}
 	all := make([]string, 0, total)
-	for _, j := range batch {
+	for _, j := range live {
 		all = append(all, j.sentences...)
 	}
 	results := make([]Result, 0, total)
@@ -260,9 +458,10 @@ func (s *Server) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.
 		}
 	}
 	off := 0
-	for _, j := range batch {
-		j.results = results[off : off+len(j.sentences)]
-		off += len(j.sentences)
+	for _, j := range live {
+		n := len(j.sentences)
+		j.results = append(make([]Result, 0, n), results[off:off+n]...)
+		off += n
 		close(j.done)
 	}
 }
@@ -272,8 +471,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","approach":%q,"max_batch":%d,"workers":%d}`,
-		s.det.Approach(), s.cfg.MaxBatch, s.cfg.Workers)
+	fmt.Fprintf(w, `{"status":"ok","approach":%q,"max_batch":%d,"workers":%d,"max_request":%d,"active_traces":%d}`,
+		s.det.Approach(), s.cfg.MaxBatch, s.cfg.Workers, s.cfg.MaxRequest, s.tracker.Len())
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -282,7 +481,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req DetectRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -303,7 +502,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "set exactly one of sentence or log_line", http.StatusBadRequest)
 		return
 	}
-	results, err := s.Detect([]string{sentence})
+	results, err := s.DetectContext(r.Context(), []string{sentence})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -317,11 +516,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	results, err := s.Detect(req.Sentences)
+	if len(req.Sentences) > s.cfg.MaxRequest {
+		http.Error(w, fmt.Sprintf("batch of %d sentences exceeds the per-request cap of %d",
+			len(req.Sentences), s.cfg.MaxRequest), http.StatusRequestEntityTooLarge)
+		return
+	}
+	results, err := s.DetectContext(r.Context(), req.Sentences)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -331,6 +535,160 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = toResponse(res)
 	}
 	writeJSON(w, resp)
+}
+
+// handleMonitor is POST /v1/monitor: bulk log ingest through the streaming
+// monitor. The body is either plain text (one key=value log line per line)
+// or JSON {"lines": [...]} with Content-Type application/json. `?strict=1`
+// aborts on the first malformed line; the default skips and counts. Alerts
+// and trace-flagged events stream to /v1/alerts subscribers; the response is
+// the run's MonitorReport.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body io.Reader = r.Body
+	if strings.Contains(r.Header.Get("Content-Type"), "application/json") {
+		// The JSON form materializes the whole body, so cap it; unbounded
+		// ingest should use the plain-text form, which streams.
+		var req MonitorRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		for i, line := range req.Lines {
+			// One array element must stay one monitor line; an embedded
+			// newline would silently split into several (and skew strict
+			// mode's reported line numbers).
+			if strings.ContainsRune(line, '\n') {
+				http.Error(w, fmt.Sprintf("bad request: lines[%d] contains a newline", i), http.StatusBadRequest)
+				return
+			}
+		}
+		body = strings.NewReader(strings.Join(req.Lines, "\n"))
+	}
+	strict := r.URL.Query().Get("strict") == "1" || r.URL.Query().Get("strict") == "true"
+	report, err := s.MonitorIngest(r.Context(), body, strict)
+	resp := MonitorResponse{MonitorReport: report}
+	switch {
+	case errors.Is(err, ErrServerClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		resp.Error = err.Error()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleAlerts is GET /v1/alerts: a Server-Sent Events stream of detection
+// alerts (`event: alert`, AlertEvent data) and trace verdicts
+// (`event: trace`, TraceEvent data) from monitor ingest. The stream ends
+// when the client disconnects or the server shuts its streams.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch := s.bus.subscribe()
+	defer s.bus.unsubscribe(ch)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprintf(w, ": streaming alerts\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.streams:
+			return
+		case ev := <-ch:
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			fl.Flush()
+		}
+	}
+}
+
+// sseEvent is one pre-marshalled server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// alertBus fans monitor events out to SSE subscribers. Publishing never
+// blocks: a subscriber whose buffer is full misses the event (alerting is
+// best-effort telemetry; /v1/monitor's report holds the authoritative
+// counts).
+type alertBus struct {
+	mu   sync.Mutex
+	subs map[chan sseEvent]struct{}
+}
+
+func newAlertBus() *alertBus { return &alertBus{subs: make(map[chan sseEvent]struct{})} }
+
+func (b *alertBus) subscribe() chan sseEvent {
+	ch := make(chan sseEvent, 64)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *alertBus) unsubscribe(ch chan sseEvent) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+func (b *alertBus) publish(name string, v interface{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) == 0 {
+		return // nobody listening: skip the marshal on the ingest path
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- sseEvent{name: name, data: data}:
+		default: // slow subscriber: drop rather than stall the monitor
+		}
+	}
+}
+
+// busSink adapts the alert bus to the monitor's AlertSink interface,
+// translating core events to their SSE wire forms.
+type busSink struct{ bus *alertBus }
+
+func (b busSink) Alert(a Alert) {
+	b.bus.publish("alert", AlertEvent{
+		Line:   a.Line,
+		Trace:  a.Job.TraceID,
+		Node:   a.Job.NodeIndex,
+		Result: toResponse(a.Result),
+	})
+}
+
+func (b busSink) TraceFlagged(v TraceVerdict) {
+	b.bus.publish("trace", TraceEvent{
+		Trace:     v.TraceID,
+		Jobs:      v.Jobs,
+		Anomalous: v.Anomalous,
+		Fraction:  v.Fraction(),
+		Flagged:   v.Flagged,
+	})
 }
 
 func toResponse(res Result) DetectResponse {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -291,5 +292,206 @@ func TestServerWorkersOwnWorkspaces(t *testing.T) {
 	}
 	if det.fails != 0 {
 		t.Fatalf("%d batches observed another batch's workspace writes", det.fails)
+	}
+}
+
+// countingDetector is a stub that records every sentence it classifies and
+// can be slowed down to hold a worker busy.
+type countingDetector struct {
+	delay time.Duration
+	mu    sync.Mutex
+	seen  []string
+}
+
+func (d *countingDetector) record(ss []string) []Result {
+	d.mu.Lock()
+	d.seen = append(d.seen, ss...)
+	d.mu.Unlock()
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	out := make([]Result, len(ss))
+	for i, s := range ss {
+		out[i] = Result{Label: len(s) % 2, Score: float64(len(s))}
+	}
+	return out
+}
+
+func (d *countingDetector) DetectSentence(s string) Result {
+	return d.record([]string{s})[0]
+}
+func (d *countingDetector) DetectBatch(ss []string) []Result { return d.record(ss) }
+func (d *countingDetector) DetectJob(j flowbench.Job) Result {
+	return d.DetectSentence(logparse.Sentence(j))
+}
+func (d *countingDetector) Approach() Approach { return SFT }
+
+func (d *countingDetector) sentences() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.seen...)
+}
+
+// TestDetectContextCancelledJobSkipped checks a job whose caller gave up is
+// never classified: its sentences must not reach the model.
+func TestDetectContextCancelledJobSkipped(t *testing.T) {
+	det := &countingDetector{delay: 50 * time.Millisecond}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 8, FlushDelay: 0, Workers: 1})
+	defer s.Close()
+
+	// Occupy the single worker.
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		if _, err := s.Detect([]string{"blocker"}); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// Enqueue a job, then cancel its caller before the worker frees up.
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.DetectContext(ctx, []string{"cancelled-job"})
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("DetectContext err = %v, want context.Canceled", err)
+	}
+	<-blockerDone
+	s.Close() // drain so every enqueued batch has run
+	for _, seen := range det.sentences() {
+		if seen == "cancelled-job" {
+			t.Fatal("cancelled job's sentences were classified anyway")
+		}
+	}
+}
+
+// TestDetectContextPreCancelled checks an already-dead context never
+// enqueues.
+func TestDetectContextPreCancelled(t *testing.T) {
+	det := &countingDetector{}
+	s := NewServerWith(det, BatchConfig{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DetectContext(ctx, []string{"x"}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestServerCloseWithInflightDetectContext hammers Close against concurrent
+// DetectContext callers (some cancelling) under -race: every call must
+// return a result, a context error, or ErrServerClosed — never hang or
+// panic.
+func TestServerCloseWithInflightDetectContext(t *testing.T) {
+	det := &countingDetector{delay: time.Millisecond}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 4, FlushDelay: time.Millisecond, Workers: 2, QueueDepth: 8})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if g%2 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i)*time.Millisecond)
+				}
+				res, err := s.DetectContext(ctx, []string{"a", "b"})
+				cancel()
+				switch {
+				case err == nil:
+					if len(res) != 2 {
+						t.Errorf("got %d results, want 2", len(res))
+						return
+					}
+				case err == ErrServerClosed, err == context.Canceled, err == context.DeadlineExceeded:
+				default:
+					t.Errorf("unexpected error %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+}
+
+// TestRunBatchResultsNotAliased pins the fix for jobs sharing one results
+// backing array: mutating one caller's results must not corrupt another's,
+// even when the dispatcher coalesced them into a single batch.
+func TestRunBatchResultsNotAliased(t *testing.T) {
+	det := &countingDetector{delay: 50 * time.Millisecond}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 8, FlushDelay: 5 * time.Millisecond, Workers: 1})
+	defer s.Close()
+
+	// Hold the single worker so the next two requests coalesce.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); s.Detect([]string{"blocker"}) }()
+	time.Sleep(10 * time.Millisecond)
+
+	type out struct {
+		res []Result
+		err error
+	}
+	ch := make(chan out, 2)
+	for _, sentence := range []string{"aa", "bbbb"} {
+		go func(sentence string) {
+			res, err := s.Detect([]string{sentence})
+			ch <- out{res, err}
+		}(sentence)
+	}
+	var got [2]out
+	for i := range got {
+		got[i] = <-ch
+		if got[i].err != nil {
+			t.Fatal(got[i].err)
+		}
+		if len(got[i].res) != 1 {
+			t.Fatalf("request %d: %d results", i, len(got[i].res))
+		}
+	}
+	wg.Wait()
+	want1 := got[1].res[0]
+	got[0].res[0] = Result{Label: -99, Score: -99}
+	if got[1].res[0] != want1 {
+		t.Fatalf("mutating request 0's results changed request 1's: %+v", got[1].res[0])
+	}
+}
+
+// TestHandleBatchSentenceCap checks one huge request can't bypass the
+// queue-depth backpressure: over-cap batches are rejected with 413.
+func TestHandleBatchSentenceCap(t *testing.T) {
+	det := &countingDetector{}
+	s := NewServerWith(det, BatchConfig{MaxRequest: 4, Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	body, _ := json.Marshal(BatchRequest{Sentences: []string{"a", "b", "c", "d", "e"}})
+	resp, err := http.Post(srv.URL+"/v1/detect/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	// At the cap is fine.
+	body, _ = json.Marshal(BatchRequest{Sentences: []string{"a", "b", "c", "d"}})
+	resp, err = http.Post(srv.URL+"/v1/detect/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap status = %d, want 200", resp.StatusCode)
 	}
 }

@@ -2,15 +2,19 @@ package core
 
 import (
 	"bufio"
+	"container/list"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flowbench"
 	"repro/internal/logparse"
+	"repro/internal/tensor"
 )
 
 // TracePolicy decides when a workflow execution as a whole is anomalous from
@@ -27,12 +31,17 @@ type TracePolicy struct {
 // abnormal — tuned to Flow-Bench's contiguous-segment injections.
 func DefaultTracePolicy() TracePolicy { return TracePolicy{MinAnomalous: 5, MinFraction: 0.10} }
 
+// flagged applies the policy to a verdict's current counts.
+func (p TracePolicy) flagged(v TraceVerdict) bool {
+	return v.Anomalous >= p.MinAnomalous || (v.Jobs > 0 && v.Fraction() >= p.MinFraction)
+}
+
 // TraceVerdict aggregates per-job detections for one execution.
 type TraceVerdict struct {
-	TraceID   int
-	Jobs      int
-	Anomalous int
-	Flagged   bool
+	TraceID   int  `json:"trace"`
+	Jobs      int  `json:"jobs"`
+	Anomalous int  `json:"anomalous"`
+	Flagged   bool `json:"flagged"`
 }
 
 // Fraction returns the abnormal share of the trace.
@@ -68,8 +77,7 @@ func DetectTraces(d Detector, jobs []flowbench.Job, policy TracePolicy) []TraceV
 				v.Anomalous++
 			}
 		}
-		v.Flagged = v.Anomalous >= policy.MinAnomalous ||
-			(v.Jobs > 0 && v.Fraction() >= policy.MinFraction)
+		v.Flagged = policy.flagged(v)
 		out[i] = v
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -112,35 +120,499 @@ type Alert struct {
 	Result Result
 }
 
+// AlertSink receives streaming monitor events. Sinks are invoked from a
+// single collector goroutine, in input order; a slow sink backpressures the
+// monitor, so sinks that fan out (SSE buses, remote hooks) should buffer.
+type AlertSink interface {
+	// Alert is called for every line classified abnormal.
+	Alert(Alert)
+	// TraceFlagged is called the first time a trace trips the policy.
+	TraceFlagged(TraceVerdict)
+}
+
+// SinkFuncs adapts plain functions to AlertSink; nil fields are skipped.
+type SinkFuncs struct {
+	OnAlert func(Alert)
+	OnTrace func(TraceVerdict)
+}
+
+// Alert implements AlertSink.
+func (s SinkFuncs) Alert(a Alert) {
+	if s.OnAlert != nil {
+		s.OnAlert(a)
+	}
+}
+
+// TraceFlagged implements AlertSink.
+func (s SinkFuncs) TraceFlagged(v TraceVerdict) {
+	if s.OnTrace != nil {
+		s.OnTrace(v)
+	}
+}
+
+// TraceTracker maintains online per-trace verdicts over a stream of job
+// observations. State is bounded: at most MaxTraces traces are tracked, with
+// least-recently-observed traces evicted first, so memory stays O(active
+// traces) on unbounded streams.
+//
+// Each Observe updates the trace's counts and re-applies the policy, so at
+// any instant Verdicts() equals what DetectTraces would compute over the
+// jobs observed so far (given identical per-job results). The flag *event*
+// (Observe's second return) latches: it fires once per tracked trace, the
+// moment the policy first trips, even if later normal jobs dilute the
+// fraction back under threshold. The latch lives with the trace's window
+// state: a flagged trace that goes quiet long enough to be evicted and then
+// returns starts fresh and may re-fire — the deliberate cost of keeping
+// memory bounded on unbounded streams (and arguably a re-alert an operator
+// wants for a trace that resumed misbehaving).
+//
+// All methods are safe for concurrent use.
+type TraceTracker struct {
+	mu      sync.Mutex
+	policy  TracePolicy
+	max     int
+	order   *list.List // front = most recently observed; back = eviction victim
+	states  map[int]*list.Element
+	evicted int
+}
+
+type traceState struct {
+	v       TraceVerdict
+	alerted bool
+}
+
+// NewTraceTracker returns a tracker applying policy over a window of at most
+// maxTraces active traces. A zero policy means DefaultTracePolicy; maxTraces
+// <= 0 means 4096.
+func NewTraceTracker(policy TracePolicy, maxTraces int) *TraceTracker {
+	if policy == (TracePolicy{}) {
+		policy = DefaultTracePolicy()
+	}
+	if maxTraces <= 0 {
+		maxTraces = 4096
+	}
+	return &TraceTracker{
+		policy: policy,
+		max:    maxTraces,
+		order:  list.New(),
+		states: make(map[int]*list.Element),
+	}
+}
+
+// Observe folds one job result into the trace's verdict and returns the
+// updated verdict, plus true when this observation newly flagged the trace.
+func (t *TraceTracker) Observe(traceID int, abnormal bool) (TraceVerdict, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.states[traceID]
+	if !ok {
+		if len(t.states) >= t.max {
+			victim := t.order.Back()
+			t.order.Remove(victim)
+			delete(t.states, victim.Value.(*traceState).v.TraceID)
+			t.evicted++
+		}
+		el = t.order.PushFront(&traceState{v: TraceVerdict{TraceID: traceID}})
+		t.states[traceID] = el
+	} else {
+		t.order.MoveToFront(el)
+	}
+	st := el.Value.(*traceState)
+	st.v.Jobs++
+	if abnormal {
+		st.v.Anomalous++
+	}
+	st.v.Flagged = t.policy.flagged(st.v)
+	newly := st.v.Flagged && !st.alerted
+	if newly {
+		st.alerted = true
+	}
+	return st.v, newly
+}
+
+// Verdict returns the current verdict for one trace, if still tracked.
+func (t *TraceTracker) Verdict(traceID int) (TraceVerdict, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.states[traceID]
+	if !ok {
+		return TraceVerdict{}, false
+	}
+	return el.Value.(*traceState).v, true
+}
+
+// Verdicts returns the verdicts of all tracked traces, ordered by trace id —
+// the online counterpart of DetectTraces' return.
+func (t *TraceTracker) Verdicts() []TraceVerdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceVerdict, 0, len(t.states))
+	for _, el := range t.states {
+		out = append(out, el.Value.(*traceState).v)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].TraceID < out[k].TraceID })
+	return out
+}
+
+// Len returns the number of actively tracked traces.
+func (t *TraceTracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.states)
+}
+
+// Evicted returns the cumulative number of traces dropped from the window.
+func (t *TraceTracker) Evicted() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// MonitorReport summarizes one monitor run.
+type MonitorReport struct {
+	// Processed counts successfully parsed and classified lines.
+	Processed int `json:"processed"`
+	// Alerts counts lines classified abnormal.
+	Alerts int `json:"alerts"`
+	// Malformed counts unparseable lines skipped (always 0 in strict mode,
+	// which aborts instead).
+	Malformed int `json:"malformed"`
+	// FlaggedTraces counts traces that newly tripped the policy this run.
+	FlaggedTraces int `json:"flagged_traces"`
+	// ActiveTraces is the tracker's window size after the run.
+	ActiveTraces int `json:"active_traces"`
+	// EvictedTraces counts traces dropped from the window during the run.
+	EvictedTraces int `json:"evicted_traces"`
+}
+
+// MonitorConfig tunes the streaming monitor.
+type MonitorConfig struct {
+	// ChunkSize is the micro-batch size: lines per model invocation
+	// (default 32).
+	ChunkSize int
+	// FlushDelay bounds how long a partial chunk waits for more lines
+	// before being classified anyway (default 100ms, negative disables).
+	// Without it a trickling source — a tailed log growing a few lines at
+	// a time — would hold alerts hostage until ChunkSize lines accumulate.
+	FlushDelay time.Duration
+	// Workers is the number of concurrent chunk classifiers (default
+	// GOMAXPROCS). Chunks are classified in parallel but alerts and trace
+	// updates are applied in input order.
+	Workers int
+	// Strict aborts on the first malformed line (the legacy Monitor
+	// behavior); the default skips and counts it.
+	Strict bool
+	// Policy is the trace-flagging policy (zero value means
+	// DefaultTracePolicy). Ignored when Tracker is set.
+	Policy TracePolicy
+	// MaxTraces bounds the online trace window (default 4096). Ignored when
+	// Tracker is set.
+	MaxTraces int
+	// Tracker, when non-nil, carries trace state across monitor runs (the
+	// server shares one tracker across /v1/monitor requests). When nil a
+	// fresh tracker is created for the run.
+	Tracker *TraceTracker
+	// Sinks receive alert and trace-flagged events in input order.
+	Sinks []AlertSink
+}
+
+func (c *MonitorConfig) fill() {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 32
+	}
+	if c.FlushDelay == 0 {
+		c.FlushDelay = 100 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	// Policy and MaxTraces zero values are resolved by NewTraceTracker.
+}
+
+// maxLineBytes bounds a single monitor log line; longer lines are treated
+// as malformed (skipped in lenient mode) instead of aborting the stream.
+const maxLineBytes = 1 << 20
+
+// readLogLine reads one newline-terminated line of at most max bytes. A
+// longer line is consumed to its end and reported as tooLong with no
+// content. End of input surfaces as ("", false, io.EOF) on the call after
+// the last line.
+func readLogLine(br *bufio.Reader, max int) (line string, tooLong bool, err error) {
+	var buf []byte
+	for {
+		chunk, isPrefix, rerr := br.ReadLine()
+		if len(buf)+len(chunk) > max {
+			for isPrefix && rerr == nil {
+				_, isPrefix, rerr = br.ReadLine()
+			}
+			return "", true, rerr
+		}
+		buf = append(buf, chunk...)
+		if rerr != nil {
+			return string(buf), false, rerr
+		}
+		if !isPrefix {
+			return string(buf), false, nil
+		}
+	}
+}
+
+// monitorChunk is one micro-batch moving through the pipeline.
+type monitorChunk struct {
+	idx     int
+	lines   []string
+	jobs    []flowbench.Job
+	results []Result
+}
+
 // Monitor reads raw key=value log lines (logparse.LogLine format) from r,
-// classifies each, and invokes onAlert for every line detected as abnormal.
-// It returns the number of lines processed and the number of alerts; parse
-// errors abort with the offending line's number.
+// classifies them in micro-batches, and invokes onAlert for every line
+// detected as abnormal. Malformed lines are skipped and counted in the
+// report; use MonitorWith with Strict for the legacy abort-on-first-error
+// behavior.
 //
 // This is the paper's real-time detection loop (Section IV-C) in library
 // form: the workflow management system appends to a log, Monitor tails it.
-func Monitor(d Detector, r io.Reader, onAlert func(Alert)) (processed, alerts int, err error) {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := scanner.Text()
-		if line == "" {
-			continue
+func Monitor(d Detector, r io.Reader, onAlert func(Alert)) (MonitorReport, error) {
+	return MonitorWith(context.Background(), d, r, MonitorConfig{
+		Sinks: []AlertSink{SinkFuncs{OnAlert: onAlert}},
+	})
+}
+
+// MonitorWith is the fully configurable streaming monitor. Lines are parsed,
+// grouped into ChunkSize micro-batches, classified by a pool of Workers
+// (each owning a tensor.Workspace when the detector supports the
+// workspace-threaded batch path), and folded back in input order: alerts
+// fire per abnormal line, the tracker updates per job, and a trace-flagged
+// event fires the moment a trace first trips the policy.
+//
+// ctx cancellation stops the run between lines; the partial report and
+// ctx.Err() are returned. In strict mode the first malformed line aborts
+// with an error naming its line number; otherwise malformed lines are
+// skipped and counted.
+func MonitorWith(ctx context.Context, d Detector, r io.Reader, cfg MonitorConfig) (MonitorReport, error) {
+	if err := ctx.Err(); err != nil {
+		return MonitorReport{}, err
+	}
+	cfg.fill()
+	tracker := cfg.Tracker
+	if tracker == nil {
+		tracker = NewTraceTracker(cfg.Policy, cfg.MaxTraces)
+	}
+	evictedBefore := tracker.Evicted()
+
+	chunks := make(chan *monitorChunk, cfg.Workers)
+	classified := make(chan *monitorChunk, cfg.Workers)
+	wsDet, _ := d.(BatchWSDetector)
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			var ws *tensor.Workspace
+			if wsDet != nil {
+				ws = tensor.GetWorkspace()
+				defer tensor.PutWorkspace(ws)
+			}
+			for c := range chunks {
+				sentences := make([]string, len(c.jobs))
+				for i, j := range c.jobs {
+					sentences[i] = logparse.Sentence(j)
+				}
+				if wsDet != nil {
+					ws.Reset()
+					c.results = wsDet.DetectBatchWS(sentences, ws)
+				} else {
+					c.results = d.DetectBatch(sentences)
+				}
+				classified <- c
+			}
+		}()
+	}
+	go func() {
+		workers.Wait()
+		close(classified)
+	}()
+
+	// The collector owns the ordered side effects: chunks arrive in
+	// completion order, are re-sequenced by index, and only then hit the
+	// sinks and tracker — so event order never depends on worker scheduling.
+	var report MonitorReport
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		pending := make(map[int]*monitorChunk)
+		next := 0
+		for c := range classified {
+			pending[c.idx] = c
+			for {
+				cur, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				for i, res := range cur.results {
+					report.Processed++
+					job := cur.jobs[i]
+					if res.Abnormal() {
+						report.Alerts++
+						a := Alert{Line: cur.lines[i], Job: job, Result: res}
+						for _, s := range cfg.Sinks {
+							s.Alert(a)
+						}
+					}
+					v, newly := tracker.Observe(job.TraceID, res.Abnormal())
+					if newly {
+						report.FlaggedTraces++
+						for _, s := range cfg.Sinks {
+							s.TraceFlagged(v)
+						}
+					}
+				}
+			}
 		}
-		job, perr := logparse.ParseLogLine(line)
-		if perr != nil {
-			return processed, alerts, fmt.Errorf("core: line %d: %w", lineNo, perr)
+	}()
+
+	// The line reader runs in its own goroutine so the chunker below can
+	// flush a partial chunk on a timer while the underlying Read blocks —
+	// a tailed log trickling in below ChunkSize lines still alerts within
+	// FlushDelay. The reader reports its terminal IO error on readErrCh
+	// (buffered, written before lines closes) and gives up on readerQuit.
+	type lineEvent struct {
+		text    string
+		no      int
+		tooLong bool
+	}
+	lines := make(chan lineEvent, cfg.ChunkSize)
+	readErrCh := make(chan error, 1)
+	readerQuit := make(chan struct{})
+	go func() {
+		defer close(lines)
+		br := bufio.NewReaderSize(r, 64*1024)
+		lineNo := 0
+		for {
+			line, tooLong, rerr := readLogLine(br, maxLineBytes)
+			if line != "" || tooLong {
+				lineNo++
+				select {
+				case lines <- lineEvent{text: line, no: lineNo, tooLong: tooLong}:
+				case <-readerQuit:
+					readErrCh <- nil
+					return
+				}
+			} else if rerr == nil {
+				lineNo++ // blank line: counted, not forwarded
+			}
+			if rerr == io.EOF {
+				readErrCh <- nil
+				return
+			}
+			if rerr != nil {
+				readErrCh <- rerr
+				return
+			}
 		}
-		processed++
-		res := d.DetectJob(job)
-		if res.Abnormal() {
-			alerts++
-			if onAlert != nil {
-				onAlert(Alert{Line: line, Job: job, Result: res})
+	}()
+
+	var (
+		readErr    error
+		malformed  int
+		idx        int
+		flushTimer *time.Timer
+		flushC     <-chan time.Time
+	)
+	cur := &monitorChunk{}
+	stopFlushTimer := func() {
+		if flushTimer != nil && !flushTimer.Stop() {
+			select {
+			case <-flushTimer.C:
+			default:
 			}
 		}
 	}
-	return processed, alerts, scanner.Err()
+	flush := func() {
+		stopFlushTimer()
+		if len(cur.jobs) > 0 {
+			cur.idx = idx
+			idx++
+			chunks <- cur
+			cur = &monitorChunk{}
+		}
+	}
+	armFlushTimer := func() {
+		if cfg.FlushDelay < 0 {
+			return
+		}
+		if flushTimer == nil {
+			flushTimer = time.NewTimer(cfg.FlushDelay)
+			flushC = flushTimer.C
+			return
+		}
+		stopFlushTimer()
+		flushTimer.Reset(cfg.FlushDelay)
+	}
+loop:
+	for {
+		var tc <-chan time.Time
+		if len(cur.jobs) > 0 {
+			tc = flushC
+		}
+		select {
+		case <-ctx.Done():
+			readErr = ctx.Err()
+			break loop
+		case <-tc:
+			flush()
+		case ev, ok := <-lines:
+			if !ok {
+				if err := <-readErrCh; err != nil {
+					readErr = err
+				}
+				break loop
+			}
+			if ev.tooLong {
+				// Unlike a Scanner (which aborts the whole stream on an
+				// over-long line), the reader skips it so one garbage
+				// blob can't kill a lenient tail.
+				if cfg.Strict {
+					readErr = fmt.Errorf("core: line %d: line exceeds %d bytes", ev.no, maxLineBytes)
+					break loop
+				}
+				malformed++
+				continue
+			}
+			job, perr := logparse.ParseLogLine(ev.text)
+			if perr != nil {
+				if cfg.Strict {
+					readErr = fmt.Errorf("core: line %d: %w", ev.no, perr)
+					break loop
+				}
+				malformed++
+				continue
+			}
+			cur.lines = append(cur.lines, ev.text)
+			cur.jobs = append(cur.jobs, job)
+			if len(cur.jobs) == cfg.ChunkSize {
+				flush()
+			} else if len(cur.jobs) == 1 {
+				armFlushTimer()
+			}
+		}
+	}
+	close(readerQuit)
+	if ctx.Err() == nil {
+		// Classify what was read (a strict abort still reports the lines
+		// before the bad one) — but not after cancellation, where running
+		// a model forward and firing sinks for a caller that already left
+		// would contradict the cancellation contract.
+		flush()
+	}
+	close(chunks)
+	<-collectorDone
+
+	report.Malformed = malformed
+	report.ActiveTraces = tracker.Len()
+	report.EvictedTraces = tracker.Evicted() - evictedBefore
+	return report, readErr
 }
