@@ -4,11 +4,14 @@
 GO ?= go
 
 # The kernel + end-to-end serving benchmarks `make bench` runs and records to
-# BENCH_3.json: tensor kernels, the zero-allocation hot paths, the batched
-# serving pairs (sequential vs batch at the same work per op), and the
-# streaming-monitor pair (per-line vs chunked micro-batches on a 1k-line log).
-BENCH_PATTERN := MatMul128|MatMulBlockedTall|AttentionForward|DecoderNextToken|KVCacheDecode|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|ServerCoalesced|Monitor|MonitorSequential
-BENCH_OUT := BENCH_3.json
+# BENCH_4.json: tensor kernels, the zero-allocation hot paths, the batched
+# serving pairs (sequential vs batch at the same work per op), the
+# streaming-monitor pair (per-line vs chunked micro-batches on a 1k-line log),
+# and the artifact startup story — StartupTrain vs StartupLoad is the same
+# detector arriving by boot-time retraining vs `anomalyd -load`, and
+# RegistrySwap is hot-swap latency (install + drain) under request load.
+BENCH_PATTERN := MatMul128|MatMulBlockedTall|AttentionForward|DecoderNextToken|KVCacheDecode|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|ServerCoalesced|Monitor|MonitorSequential|StartupTrain|StartupLoad|RegistrySwap
+BENCH_OUT := BENCH_4.json
 
 .PHONY: check fmt vet build test bench bench-all
 

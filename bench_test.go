@@ -11,9 +11,11 @@ package repro
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -498,5 +500,137 @@ func BenchmarkQuantize4Bit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nn.Quantize4Bit(m, nn.DefaultQuantBlock)
+	}
+}
+
+// Artifact & registry benchmarks — the startup-time story of PR 4. The
+// Startup pair measures the same detector arriving two ways: trained from
+// scratch at boot (the pre-artifact anomalyd behavior) versus loaded from a
+// detector artifact (anomalyd -load). Both produce bitwise-identical
+// detectors; the ratio is the boot-latency win of treating weights as data.
+// RegistrySwap measures hot-swap latency — how long Registry.Swap takes to
+// install a new detector and fully drain the old engine while request
+// traffic keeps flowing.
+
+// startupTrainOptions is the tiny training recipe both startup benchmarks
+// describe: small enough that BenchmarkStartupTrain finishes in seconds,
+// real enough that the artifact carries trained weights.
+func startupTrainOptions() core.Options {
+	return core.Options{
+		Approach: core.SFT, Model: "distilbert-base-uncased",
+		TrainSize: 150, PretrainSteps: 60, Epochs: 1, Seed: 7,
+	}
+}
+
+var (
+	startupOnce     sync.Once
+	startupArtifact []byte
+)
+
+// startupArtifactBytes trains the startup detector once and serializes it,
+// so BenchmarkArtifactLoad measures deserialization alone.
+func startupArtifactBytes(b *testing.B) []byte {
+	b.Helper()
+	startupOnce.Do(func() {
+		det, _, err := core.Train(startupTrainOptions())
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := core.SaveDetector(&buf, det); err != nil {
+			panic(err)
+		}
+		startupArtifact = buf.Bytes()
+	})
+	return startupArtifact
+}
+
+// BenchmarkStartupTrain is the "retrain at every boot" cost: the full Train
+// pipeline (dataset generation, vocabulary, pre-training, fine-tuning) at
+// the startup recipe's scale. Production recipes are ~10× larger.
+func BenchmarkStartupTrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Train(startupTrainOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartupLoad is the "boot from artifact" cost for the same
+// detector: parse, checksum, rebuild, and load weights.
+func BenchmarkStartupLoad(b *testing.B) {
+	data := startupArtifactBytes(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LoadDetector(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// swapStubDetector is a minimal fast detector so RegistrySwap measures the
+// swap/drain machinery, not model inference.
+type swapStubDetector struct{ label int }
+
+func (d swapStubDetector) DetectSentence(string) core.Result {
+	return core.Result{Label: d.label}
+}
+func (d swapStubDetector) DetectBatch(ss []string) []core.Result {
+	out := make([]core.Result, len(ss))
+	for i := range out {
+		out[i] = core.Result{Label: d.label}
+	}
+	return out
+}
+func (d swapStubDetector) DetectJob(flowbench.Job) core.Result { return core.Result{Label: d.label} }
+func (d swapStubDetector) Approach() core.Approach             { return core.SFT }
+
+// BenchmarkRegistrySwap measures hot-swap latency under concurrent request
+// load: per op, one Registry.Swap installs a new detector and waits for the
+// old engine to drain while 4 client goroutines keep issuing requests (all
+// of which must succeed — the zero-drop contract).
+func BenchmarkRegistrySwap(b *testing.B) {
+	reg := core.NewRegistry()
+	if err := reg.Add("live", swapStubDetector{}, core.BatchConfig{
+		MaxBatch: 8, FlushDelay: 100 * time.Microsecond, Workers: 2,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewServerRegistry(reg)
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.DetectModelContext(context.Background(), "live", []string{"a", "b"}); err != nil {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Swap("live", swapStubDetector{label: i % 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		b.Fatalf("%d requests dropped during swaps", n)
 	}
 }

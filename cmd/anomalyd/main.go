@@ -1,21 +1,29 @@
-// Command anomalyd trains a detector and serves it over HTTP — the
-// production deployment of the paper's real-time detection scenario.
+// Command anomalyd serves anomaly detectors over HTTP — the production
+// deployment of the paper's real-time detection scenario.
 //
-//	anomalyd -addr :8080 -approach sft -model bert-base-uncased
+// Train once, serve many:
+//
+//	anomalyd -approach sft -train-out genome-sft.artifact     # train + save + exit
+//	anomalyd -load genome-sft.artifact                        # serve in milliseconds
+//	anomalyd -load genome=g.artifact,montage=m.artifact       # two models, one process
+//	anomalyd -approach icl -model mistral                     # legacy: train at boot, then serve
 //
 // Endpoints:
 //
-//	POST /v1/detect        {"sentence": "wms_delay is 6.0 ..."} or {"log_line": "wf=... runtime=..."}
-//	POST /v1/detect/batch  {"sentences": [...]}
-//	POST /v1/monitor       raw log lines (or {"lines": [...]}) → monitor report
-//	GET  /v1/alerts        SSE stream of alerts + trace-flagged verdicts
+//	POST /v1/detect[?model=]        {"sentence": "wms_delay is 6.0 ..."} or {"log_line": "wf=... runtime=..."}
+//	POST /v1/detect/batch[?model=]  {"sentences": [...]}
+//	POST /v1/monitor[?model=]       raw log lines (or {"lines": [...]}) → monitor report
+//	GET  /v1/models                 registered models + serving stats
+//	GET  /v1/alerts                 SSE stream of alerts + trace-flagged verdicts
 //	GET  /healthz
 //
-// Concurrent requests are micro-batched through a coalescing worker pool;
-// -max-batch, -flush, and -workers tune it (see docs/API.md). With -tail the
-// daemon also follows a growing log file (the paper's Section IV-C loop):
-// each appended line is classified through the batched monitor and abnormal
-// lines are logged and streamed to /v1/alerts subscribers.
+// With -load the daemon performs zero training steps at boot: each artifact
+// (written by -train-out, sfttrain -save, or iclrun -save) is loaded into the
+// model registry under its name (`name=path`, or the file's base name) and
+// the first is the default route. Concurrent requests are micro-batched
+// through a per-model coalescing worker pool; -max-batch, -flush, and
+// -workers tune it (see docs/API.md). With -tail the daemon also follows a
+// growing log file (the paper's Section IV-C loop) through the default model.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open SSE
 // streams and the tail loop end, in-flight requests finish, and only then
@@ -31,6 +39,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,7 +51,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		approach = flag.String("approach", "sft", "sft or icl")
+		approach = flag.String("approach", "sft", "sft or icl (training modes)")
 		model    = flag.String("model", "", "model name (defaults per approach)")
 		workflow = flag.String("workflow", "1000-genome", "training workflow")
 		trainN   = flag.Int("train", 1000, "training subsample size")
@@ -49,41 +59,78 @@ func main() {
 		preSteps = flag.Int("pretrain", 400, "pre-training steps")
 		debias   = flag.Bool("debias", true, "apply the empty-sentence debiasing augmentation")
 		seed     = flag.Uint64("seed", 42, "seed")
+		trainOut = flag.String("train-out", "", "train, write the detector artifact to this path, and exit (no serving)")
+		load     = flag.String("load", "", "comma-separated detector artifacts to serve ([name=]path, first is default); skips training entirely")
 		maxBatch = flag.Int("max-batch", 32, "max sentences per batched model invocation")
 		flush    = flag.Duration("flush", 2*time.Millisecond, "coalescing flush deadline for partial batches (0 = flush when idle)")
-		workers  = flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "inference workers per model (0 = GOMAXPROCS)")
 		maxReq   = flag.Int("max-request", 0, "per-request sentence cap on /v1/detect/batch (0 = default 2048)")
-		tail     = flag.String("tail", "", "log file to follow and classify (empty = serve only)")
+		tail     = flag.String("tail", "", "log file to follow and classify through the default model (empty = serve only)")
 		tailPoll = flag.Duration("tail-poll", 500*time.Millisecond, "poll interval while waiting for new -tail data")
 		strict   = flag.Bool("strict", false, "abort -tail on the first malformed line instead of skipping it")
 	)
 	flag.Parse()
-
-	log.Printf("training %s detector on %s (%d jobs)...", *approach, *workflow, *trainN)
-	det, report, err := core.Train(core.Options{
-		Approach:      core.Approach(*approach),
-		Workflow:      flowbench.Workflow(*workflow),
-		Model:         *model,
-		TrainSize:     *trainN,
-		PretrainSteps: *preSteps,
-		Epochs:        *epochs,
-		Debias:        *debias,
-		Seed:          *seed,
-	})
-	if err != nil {
-		log.Fatal("anomalyd: ", err)
+	if *trainOut != "" && *load != "" {
+		log.Fatal("anomalyd: -train-out and -load are mutually exclusive")
 	}
-	log.Printf("detector ready: %d params, held-out %s", report.Params, report.Test)
+
+	cfg := core.BatchConfig{
+		MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers, MaxRequest: *maxReq,
+	}
+	reg := core.NewRegistry()
+
+	switch {
+	case *load != "":
+		// Serving mode: load pre-trained artifacts, zero training at boot.
+		for _, spec := range strings.Split(*load, ",") {
+			name, path := splitModelSpec(spec)
+			start := time.Now()
+			det, err := core.LoadDetectorFile(path)
+			if err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+			if err := reg.Add(name, det, cfg); err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+			log.Printf("loaded %s (%s) from %s in %s", name, det.Approach(), path, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		// Training modes: -train-out saves and exits; otherwise the trained
+		// detector is served as the default model (the pre-artifact behavior).
+		log.Printf("training %s detector on %s (%d jobs)...", *approach, *workflow, *trainN)
+		det, report, err := core.Train(core.Options{
+			Approach:      core.Approach(*approach),
+			Workflow:      flowbench.Workflow(*workflow),
+			Model:         *model,
+			TrainSize:     *trainN,
+			PretrainSteps: *preSteps,
+			Epochs:        *epochs,
+			Debias:        *debias,
+			Seed:          *seed,
+		})
+		if err != nil {
+			log.Fatal("anomalyd: ", err)
+		}
+		log.Printf("detector ready: %d params, held-out %s", report.Params, report.Test)
+		if *trainOut != "" {
+			if err := core.SaveDetectorFile(*trainOut, det); err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+			log.Printf("artifact written to %s; serve it with: anomalyd -load %s", *trainOut, *trainOut)
+			return
+		}
+		if err := reg.Add(core.DefaultModel, det, cfg); err != nil {
+			log.Fatal("anomalyd: ", err)
+		}
+	}
 
 	// Signals are only captured once there is something to wind down.
-	// Installing the handler before the minutes-long training phase would
+	// Installing the handler before a minutes-long training phase would
 	// swallow Ctrl-C and make the process unkillable until training ends.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	handler := core.NewServerWith(det, core.BatchConfig{
-		MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers, MaxRequest: *maxReq,
-	})
+	handler := core.NewServerRegistry(reg)
 
 	tailDone := make(chan struct{})
 	if *tail == "" {
@@ -95,7 +142,7 @@ func main() {
 		}()
 	}
 
-	log.Printf("listening on %s (max batch %d, flush %s)", *addr, *maxBatch, *flush)
+	log.Printf("listening on %s, models %v (max batch %d, flush %s)", *addr, reg.Names(), *maxBatch, *flush)
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -122,6 +169,19 @@ func main() {
 	}
 	handler.Close()
 	log.Print("bye")
+}
+
+// splitModelSpec parses one -load entry: "name=path" serves path under name;
+// a bare path serves under the file's base name without extension.
+func splitModelSpec(spec string) (name, path string) {
+	if eq := strings.IndexByte(spec, '='); eq >= 0 {
+		return spec[:eq], spec[eq+1:]
+	}
+	base := filepath.Base(spec)
+	if ext := filepath.Ext(base); ext != "" {
+		base = strings.TrimSuffix(base, ext)
+	}
+	return base, spec
 }
 
 // tailLog follows path like `tail -f`, feeding appended lines through the

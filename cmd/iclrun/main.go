@@ -5,6 +5,11 @@
 //	iclrun -model mistral -workflow 1000-genome -shots 5 -mix mixed
 //	iclrun -model gpt2 -shots 0                  # zero-shot
 //	iclrun -model mistral -ft -cot               # fine-tune, then show CoT
+//	iclrun -model mistral -ft -save icl.artifact # save detector for anomalyd -load
+//
+// -save writes a complete detector artifact — weights (including LoRA
+// adapters when -ft is set), tokenizer vocabulary, and the few-shot example
+// set — that anomalyd -load serves with zero training at boot.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/flowbench"
 	"repro/internal/icl"
 	"repro/internal/logparse"
@@ -33,6 +39,7 @@ func main() {
 		evalN    = flag.Int("eval", 200, "number of test queries")
 		preSteps = flag.Int("pretrain", 400, "CLM pre-training steps")
 		seed     = flag.Uint64("seed", 42, "seed")
+		save     = flag.String("save", "", "write the detector artifact (weights + few-shot examples) to this path")
 	)
 	flag.Parse()
 
@@ -77,6 +84,13 @@ func main() {
 	}
 
 	exs := icl.PromptExamples(icl.SelectExamples(ds.Train, *shots, mix, *seed))
+	if *save != "" {
+		if err := core.SaveDetectorFile(*save, core.NewICLDetector(d, exs)); err != nil {
+			fmt.Fprintln(os.Stderr, "iclrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("detector artifact written to %s (serve with: anomalyd -load %s)\n", *save, *save)
+	}
 	fmt.Printf("evaluating %d queries with %d-shot %s prompts...\n", len(ds.Test), *shots, mix)
 	conf := icl.Evaluate(d, ds.Test, exs)
 	fmt.Printf("test: %s\n", conf)

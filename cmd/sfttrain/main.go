@@ -3,7 +3,10 @@
 // a standalone tool.
 //
 //	sfttrain -model bert-base-uncased -workflow 1000-genome -epochs 3
-//	sfttrain -model distilbert-base-cased -train 2000 -freeze -save ckpt.bin
+//	sfttrain -model distilbert-base-cased -train 2000 -freeze -save genome.artifact
+//
+// -save writes a complete detector artifact (weights + tokenizer vocabulary,
+// checksummed) that anomalyd -load serves with zero training at boot.
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/flowbench"
 	"repro/internal/logparse"
 	"repro/internal/models"
@@ -30,7 +34,7 @@ func main() {
 		freeze   = flag.Bool("freeze", false, "freeze the backbone; train only the classification head")
 		debias   = flag.Bool("debias", false, "add the empty-sentence debiasing augmentation")
 		seed     = flag.Uint64("seed", 42, "seed")
-		save     = flag.String("save", "", "write the fine-tuned checkpoint to this path")
+		save     = flag.String("save", "", "write the trained detector artifact to this path (serve with anomalyd -load)")
 	)
 	flag.Parse()
 
@@ -74,19 +78,10 @@ func main() {
 	fmt.Printf("empty-input probe: p(normal)=%.3f p(abnormal)=%.3f\n", probe[0], probe[1])
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
+		if err := core.SaveDetectorFile(*save, core.NewSFTDetector(c)); err != nil {
 			fmt.Fprintln(os.Stderr, "sfttrain:", err)
 			os.Exit(1)
 		}
-		if err := c.Model.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, "sfttrain:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "sfttrain:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("checkpoint written to %s\n", *save)
+		fmt.Printf("detector artifact written to %s (serve with: anomalyd -load %s)\n", *save, *save)
 	}
 }

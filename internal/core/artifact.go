@@ -1,0 +1,320 @@
+// Detector artifacts: the whole trained detector — transformer weights,
+// tokenizer vocabulary, and approach-specific state — as one versioned,
+// checksummed binary file. Train once (anomalyd -train-out, sfttrain -save,
+// iclrun -save), then serve in milliseconds (anomalyd -load) and hot-swap
+// into a running Registry; weights are data, not a boot-time side effect.
+//
+// Format (all integers little-endian; sections are uint32-length-prefixed
+// byte blocks so each layer parses its own payload without over-reading):
+//
+//	uint32  magic "WFDA"
+//	uint32  format version
+//	section approach name ("sft" | "icl")
+//	section transformer.Config as JSON (full architecture; no registry needed)
+//	section tokenizer vocabulary (tokenizer.Save wire format)
+//	section approach metadata as JSON (ICL: LoRA shape + few-shot examples)
+//	section model weights (transformer.Model.Save wire format)
+//	uint32  CRC-32 (IEEE) of every preceding byte
+//
+// A wrong magic, an unknown version, or a checksum mismatch fails loudly with
+// a descriptive error — old or corrupt artifacts never load silently.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/icl"
+	"repro/internal/nn"
+	"repro/internal/prompt"
+	"repro/internal/sft"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+	"repro/internal/transformer"
+)
+
+const (
+	// artifactMagic identifies a detector artifact ("WFDA": workflow
+	// detector artifact).
+	artifactMagic = uint32(0x57464441)
+	// ArtifactVersion is the artifact format version this build reads and
+	// writes. Bump it on any incompatible layout change; mismatched versions
+	// are rejected at load.
+	ArtifactVersion = uint32(1)
+	// maxSectionBytes bounds one artifact section (the weights of the
+	// largest registry model are well under this). A larger declared length
+	// means corruption, and catching it avoids a garbage-sized allocation.
+	maxSectionBytes = 1 << 28
+)
+
+// iclMeta is the approach-specific artifact payload for ICL detectors: how
+// to rebuild the model's LoRA structure before loading weights, and the
+// few-shot examples whose PromptCache the serving layer rebuilds on first
+// use. LoRAScale is stored directly (rather than alpha) so the reconstructed
+// adapter scale is bit-identical to the trained one.
+type iclMeta struct {
+	LoRARank  int              `json:"lora_rank,omitempty"`
+	LoRAScale float32          `json:"lora_scale,omitempty"`
+	Examples  []prompt.Example `json:"examples"`
+}
+
+// loraShape inspects a model for LoRA-wrapped attention projections (the
+// Wq/Wv target set ApplyLoRA installs) and returns the adapter shape needed
+// to reconstruct an identical parameter layout at load time.
+func loraShape(m *transformer.Model) (rank int, scale float32, applied bool) {
+	for _, b := range m.Blocks {
+		if l, ok := b.Attn.Wq.(*nn.LoRALinear); ok {
+			return l.Rank, l.Scale, true
+		}
+	}
+	return 0, 0, false
+}
+
+// applyLoRAShape re-installs rank-r adapters on a freshly built model so its
+// parameter order and shapes match a saved LoRA-tuned model, then pins the
+// exact trained scale (ApplyLoRA recomputes scale from alpha; assigning the
+// stored float32 avoids any round-trip drift).
+func applyLoRAShape(m *transformer.Model, rank int, scale float32) {
+	m.ApplyLoRA(rank, float64(scale)*float64(rank), 0, tensor.NewRNG(1))
+	for _, b := range m.Blocks {
+		if l, ok := b.Attn.Wq.(*nn.LoRALinear); ok {
+			l.Scale = scale
+		}
+		if l, ok := b.Attn.Wv.(*nn.LoRALinear); ok {
+			l.Scale = scale
+		}
+	}
+}
+
+// SaveDetector writes det to w as a detector artifact. Only detectors
+// produced by this package (Train, NewSFTDetector, NewICLDetector,
+// LoadDetector) can be saved; foreign Detector implementations are rejected.
+func SaveDetector(w io.Writer, det Detector) error {
+	var (
+		approach Approach
+		model    *transformer.Model
+		tok      *tokenizer.Tokenizer
+		meta     interface{}
+	)
+	switch d := det.(type) {
+	case *sftDetector:
+		approach, model, tok = SFT, d.clf.Model, d.clf.Tok
+		meta = struct{}{}
+	case *iclDetector:
+		approach, model, tok = ICL, d.det.Model, d.det.Tok
+		rank, scale, applied := loraShape(model)
+		im := iclMeta{Examples: d.examples}
+		if applied {
+			im.LoRARank, im.LoRAScale = rank, scale
+		}
+		meta = im
+	default:
+		return fmt.Errorf("core: cannot save detector of type %T (not produced by core.Train or core.LoadDetector)", det)
+	}
+
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(w, h)
+	for _, v := range []uint32{artifactMagic, ArtifactVersion} {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := writeSection(mw, []byte(approach)); err != nil {
+		return fmt.Errorf("core: writing approach: %w", err)
+	}
+	cfgJSON, err := json.Marshal(model.Config)
+	if err != nil {
+		return err
+	}
+	if err := writeSection(mw, cfgJSON); err != nil {
+		return fmt.Errorf("core: writing model config: %w", err)
+	}
+	var tokBuf bytes.Buffer
+	if err := tok.Save(&tokBuf); err != nil {
+		return err
+	}
+	if err := writeSection(mw, tokBuf.Bytes()); err != nil {
+		return fmt.Errorf("core: writing tokenizer: %w", err)
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := writeSection(mw, metaJSON); err != nil {
+		return fmt.Errorf("core: writing metadata: %w", err)
+	}
+	var wBuf bytes.Buffer
+	if err := model.Save(&wBuf); err != nil {
+		return err
+	}
+	if err := writeSection(mw, wBuf.Bytes()); err != nil {
+		return fmt.Errorf("core: writing weights: %w", err)
+	}
+	// The checksum trailer goes to w only: it covers, not includes, itself.
+	return binary.Write(w, binary.LittleEndian, h.Sum32())
+}
+
+// LoadDetector reads a detector artifact written by SaveDetector and
+// reconstructs a ready-to-serve Detector: model rebuilt from the embedded
+// config (including LoRA structure for fine-tuned ICL detectors), weights
+// loaded bit-exactly, tokenizer restored, and — for ICL — the few-shot
+// PromptCache rebuilt lazily on first batched use. Detection results are
+// bitwise identical to the detector that was saved.
+func LoadDetector(r io.Reader) (Detector, error) {
+	h := crc32.NewIEEE()
+	tr := io.TeeReader(r, h)
+	var magic, version uint32
+	if err := binary.Read(tr, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: reading artifact magic: %w", err)
+	}
+	if magic != artifactMagic {
+		return nil, fmt.Errorf("core: not a detector artifact (magic %#x, want %#x)", magic, artifactMagic)
+	}
+	if err := binary.Read(tr, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("core: reading artifact version: %w", err)
+	}
+	if version != ArtifactVersion {
+		return nil, fmt.Errorf("core: detector artifact format v%d; this build reads v%d", version, ArtifactVersion)
+	}
+	approachBytes, err := readSection(tr, "approach")
+	if err != nil {
+		return nil, err
+	}
+	approach := Approach(approachBytes)
+	if approach != SFT && approach != ICL {
+		return nil, fmt.Errorf("core: artifact has unknown approach %q", approach)
+	}
+	cfgJSON, err := readSection(tr, "model config")
+	if err != nil {
+		return nil, err
+	}
+	var cfg transformer.Config
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("core: decoding model config: %w", err)
+	}
+	if cfg.VocabSize <= 0 || cfg.DModel <= 0 || cfg.NumLayers <= 0 || cfg.NumHeads <= 0 {
+		return nil, fmt.Errorf("core: artifact model config is implausible: %+v", cfg)
+	}
+	tokBytes, err := readSection(tr, "tokenizer")
+	if err != nil {
+		return nil, err
+	}
+	tok, err := tokenizer.Load(bytes.NewReader(tokBytes))
+	if err != nil {
+		return nil, err
+	}
+	if tok.VocabSize() != cfg.VocabSize {
+		return nil, fmt.Errorf("core: artifact tokenizer has %d words, model config expects %d", tok.VocabSize(), cfg.VocabSize)
+	}
+	metaJSON, err := readSection(tr, "metadata")
+	if err != nil {
+		return nil, err
+	}
+	weights, err := readSection(tr, "weights")
+	if err != nil {
+		return nil, err
+	}
+	sum := h.Sum32()
+	var stored uint32
+	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("core: artifact truncated reading checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("core: artifact checksum mismatch (stored %#x, computed %#x): file corrupted?", stored, sum)
+	}
+
+	// Seed is irrelevant: every parameter is overwritten by Load below.
+	model := transformer.New(cfg, tensor.NewRNG(1))
+	switch approach {
+	case SFT:
+		if err := model.Load(bytes.NewReader(weights)); err != nil {
+			return nil, err
+		}
+		return NewSFTDetector(sft.NewClassifier(model, tok)), nil
+	default: // ICL, validated above
+		var meta iclMeta
+		if err := json.Unmarshal(metaJSON, &meta); err != nil {
+			return nil, fmt.Errorf("core: decoding ICL metadata: %w", err)
+		}
+		if meta.LoRARank > 0 {
+			applyLoRAShape(model, meta.LoRARank, meta.LoRAScale)
+		}
+		if err := model.Load(bytes.NewReader(weights)); err != nil {
+			return nil, err
+		}
+		return NewICLDetector(icl.NewDetector(model, tok), meta.Examples), nil
+	}
+}
+
+// SaveDetectorFile writes det to path atomically: the artifact lands under a
+// temporary name first and is renamed into place, so a reader (or a crash)
+// never sees a half-written artifact — the property hot-swap workflows that
+// watch an artifact path rely on.
+func SaveDetectorFile(path string, det Detector) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// CreateTemp's 0600 would break the train-once/serve-many handoff when
+	// training and serving run as different users; artifacts are plain data.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := SaveDetector(tmp, det); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadDetectorFile reads a detector artifact from path.
+func LoadDetectorFile(path string) (Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	det, err := LoadDetector(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return det, nil
+}
+
+// writeSection writes one uint32-length-prefixed byte block.
+func writeSection(w io.Writer, data []byte) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(data))); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readSection reads one length-prefixed block, rejecting implausible lengths
+// and naming the section in truncation errors.
+func readSection(r io.Reader, what string) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("core: artifact truncated reading %s length: %w", what, err)
+	}
+	if n > maxSectionBytes {
+		return nil, fmt.Errorf("core: artifact %s section declares %d bytes (corrupt artifact?)", what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("core: artifact truncated reading %s (%d bytes): %w", what, n, err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+)
+
+// iclOnce shares one small trained ICL detector across artifact tests: it
+// exercises the full save path complexity (quantized base weights, LoRA
+// structure, few-shot examples + prompt cache).
+var (
+	iclOnce sync.Once
+	iclDet  Detector
+)
+
+func iclDetectorForTest(t *testing.T) Detector {
+	t.Helper()
+	iclOnce.Do(func() {
+		det, _, err := Train(Options{
+			Approach: ICL, Model: "gpt2",
+			TrainSize: 200, PretrainSteps: 100, Shots: 3, LoRASteps: 40, Seed: 9,
+		})
+		if err != nil {
+			panic(err)
+		}
+		iclDet = det
+	})
+	return iclDet
+}
+
+// fixtureSentences returns a deterministic slab of feature sentences.
+func fixtureSentences(ds *flowbench.Dataset, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = logparse.Sentence(ds.Test[i%len(ds.Test)])
+	}
+	return out
+}
+
+// assertDetectorsBitwiseEqual checks that two detectors produce *identical*
+// (not merely close) results on sentences, and identical trace verdicts on a
+// fixture job log — the artifact round-trip contract.
+func assertDetectorsBitwiseEqual(t *testing.T, want, got Detector, ds *flowbench.Dataset) {
+	t.Helper()
+	sentences := fixtureSentences(ds, 32)
+	wr := want.DetectBatch(sentences)
+	gr := got.DetectBatch(sentences)
+	if len(wr) != len(gr) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(wr), len(gr))
+	}
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Fatalf("sentence %d: loaded detector returned %+v, trained returned %+v (not bitwise identical)", i, gr[i], wr[i])
+		}
+	}
+	if w, g := want.DetectSentence(sentences[0]), got.DetectSentence(sentences[0]); w != g {
+		t.Fatalf("DetectSentence differs: %+v vs %+v", g, w)
+	}
+	jobs := ds.Test[:80]
+	wv := DetectTraces(want, jobs, DefaultTracePolicy())
+	gv := DetectTraces(got, jobs, DefaultTracePolicy())
+	if len(wv) != len(gv) {
+		t.Fatalf("verdict counts differ: %d vs %d", len(wv), len(gv))
+	}
+	for i := range wv {
+		if wv[i] != gv[i] {
+			t.Fatalf("trace %d: loaded verdict %+v, trained verdict %+v", i, gv[i], wv[i])
+		}
+	}
+}
+
+func TestArtifactRoundTripSFT(t *testing.T) {
+	det, ds := detector(t)
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Approach() != SFT {
+		t.Fatalf("approach = %q", loaded.Approach())
+	}
+	assertDetectorsBitwiseEqual(t, det, loaded, ds)
+}
+
+func TestArtifactRoundTripICL(t *testing.T) {
+	det := iclDetectorForTest(t)
+	_, ds := detector(t)
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Approach() != ICL {
+		t.Fatalf("approach = %q", loaded.Approach())
+	}
+	assertDetectorsBitwiseEqual(t, det, loaded, ds)
+}
+
+// TestArtifactSecondGeneration loads an artifact, re-saves the loaded
+// detector, and loads again: the format must be stable under save→load→save.
+func TestArtifactSecondGeneration(t *testing.T) {
+	det, ds := detector(t)
+	var gen1 bytes.Buffer
+	if err := SaveDetector(&gen1, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded1, err := LoadDetector(bytes.NewReader(gen1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen2 bytes.Buffer
+	if err := SaveDetector(&gen2, loaded1); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := LoadDetector(bytes.NewReader(gen2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDetectorsBitwiseEqual(t, det, loaded2, ds)
+}
+
+func TestArtifactFileRoundTrip(t *testing.T) {
+	det, ds := detector(t)
+	path := filepath.Join(t.TempDir(), "det.artifact")
+	if err := SaveDetectorFile(path, det); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write: no temp litter next to the artifact.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("artifact dir has %d entries, want 1 (temp file leaked?)", len(entries))
+	}
+	loaded, err := LoadDetectorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDetectorsBitwiseEqual(t, det, loaded, ds)
+}
+
+func TestArtifactRejectsCorruption(t *testing.T) {
+	det, _ := detector(t)
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xFF
+			return c
+		}, "not a detector artifact"},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		}, "artifact format v99"},
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x01
+			return c
+		}, ""}, // checksum or a section-level validation error; either is loud
+		{"truncated", func(b []byte) []byte {
+			return b[:len(b)*2/3]
+		}, "truncated"},
+		{"empty", func(b []byte) []byte { return nil }, "magic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadDetector(bytes.NewReader(tc.mutate(good)))
+			if err == nil {
+				t.Fatalf("%s: expected load error", tc.name)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("%s: error = %v, want substring %q", tc.name, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSaveDetectorRejectsForeignImplementations(t *testing.T) {
+	var buf bytes.Buffer
+	err := SaveDetector(&buf, markDetector{})
+	if err == nil || !strings.Contains(err.Error(), "cannot save") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestArtifactServesWithZeroTraining is the acceptance path of anomalyd
+// -load: a detector loaded from an artifact answers its first HTTP request
+// with no training step at boot.
+func TestArtifactServesWithZeroTraining(t *testing.T) {
+	det, ds := detector(t)
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(loaded)
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	body, _ := json.Marshal(DetectRequest{Sentence: logparse.Sentence(ds.Test[0])})
+	resp, err := http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out DetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if want := det.DetectSentence(logparse.Sentence(ds.Test[0])); out.Label != want.Label {
+		t.Fatalf("served label %d, trained label %d", out.Label, want.Label)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -22,9 +24,26 @@ var (
 	testDS  *flowbench.Dataset
 )
 
+// testArtifactPath caches the trained test detector as an artifact between
+// test runs. The cache is honored only when REPRO_DETECTOR_CACHE is set: CI
+// sets it and caches this directory keyed on the hash of internal/ sources
+// (any code change invalidates the key and retrains), so registry and server
+// tests load in milliseconds instead of retraining per run. Local runs
+// always retrain — an unkeyed local cache would silently pin tests to
+// weights trained by pre-change code.
+const testArtifactPath = "testdata/cache/sft-distilbert-tiny.artifact"
+
 func detector(t *testing.T) (Detector, *flowbench.Dataset) {
 	t.Helper()
 	once.Do(func() {
+		testDS = flowbench.Generate(flowbench.Genome, 9).Subsample(100, 50, 200, 10)
+		useCache := os.Getenv("REPRO_DETECTOR_CACHE") != ""
+		if useCache {
+			if det, err := LoadDetectorFile(testArtifactPath); err == nil {
+				testDet = det
+				return
+			}
+		}
 		det, report, err := Train(Options{
 			Approach: SFT, Model: "distilbert-base-uncased",
 			TrainSize: 400, PretrainSteps: 120, Epochs: 2, Seed: 9,
@@ -36,7 +55,14 @@ func detector(t *testing.T) (Detector, *flowbench.Dataset) {
 			panic("test detector too weak")
 		}
 		testDet = det
-		testDS = flowbench.Generate(flowbench.Genome, 9).Subsample(100, 50, 200, 10)
+		// Best-effort cache write: detection through a loaded artifact is
+		// bitwise identical to the trained detector, so later cached runs
+		// start from the file.
+		if useCache {
+			if err := os.MkdirAll(filepath.Dir(testArtifactPath), 0o755); err == nil {
+				_ = SaveDetectorFile(testArtifactPath, det)
+			}
+		}
 	})
 	return testDet, testDS
 }

@@ -67,11 +67,13 @@ type BatchWSDetector interface {
 // approaches.
 type Detector interface {
 	// DetectSentence classifies a parsed feature sentence (Fig 2 format).
+	// Both built-in detectors delegate to DetectBatch with a batch of one,
+	// so DetectSentence is as concurrency-safe as DetectBatch.
 	DetectSentence(sentence string) Result
 	// DetectBatch classifies a batch of sentences in one packed forward
 	// pass, returning results in input order. The batched path reads the
 	// model without mutating layer state, so DetectBatch is safe to call
-	// from concurrent goroutines (DetectSentence is not).
+	// from concurrent goroutines.
 	DetectBatch(sentences []string) []Result
 	// DetectJob classifies a job record.
 	DetectJob(j flowbench.Job) Result
@@ -88,8 +90,11 @@ type sftDetector struct {
 func NewSFTDetector(clf *sft.Classifier) Detector { return &sftDetector{clf: clf} }
 
 func (d *sftDetector) DetectSentence(sentence string) Result {
-	label, probs := d.clf.Predict(sentence)
-	return Result{Label: label, Score: float64(probs[1])}
+	// Delegate to the batch path (batch of 1): the batched forward reads the
+	// model without mutating layer state, so a registry-held detector is safe
+	// to call from any handler goroutine. The single-sentence training-path
+	// forward caches activations on the layers and is not.
+	return d.DetectBatch([]string{sentence})[0]
 }
 
 func (d *sftDetector) DetectBatch(sentences []string) []Result {
@@ -126,8 +131,10 @@ func NewICLDetector(det *icl.Detector, examples []prompt.Example) Detector {
 }
 
 func (d *iclDetector) DetectSentence(sentence string) Result {
-	label, probs := d.det.Classify(sentence, d.examples)
-	return Result{Label: label, Score: float64(probs[1])}
+	// Batch of 1 through the read-only cached path: concurrency-safe (unlike
+	// icl.Detector.Classify, whose forward caches activations on the model)
+	// and it reuses the shared prompt-prefix KV cache.
+	return d.DetectBatch([]string{sentence})[0]
 }
 
 func (d *iclDetector) DetectBatch(sentences []string) []Result {

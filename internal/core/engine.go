@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// ErrServerClosed is returned by Detect calls after the serving engine (or
+// the registry/server that owns it) has been closed.
+var ErrServerClosed = errors.New("core: server closed")
+
+// detectJob is one coalescable unit of work: the sentences of a single HTTP
+// request (or programmatic Detect call) and the slot their results land in.
+// ctx is the caller's context: a job whose caller has gone away by the time
+// its batch runs is skipped instead of computed for nobody.
+type detectJob struct {
+	ctx       context.Context
+	sentences []string
+	results   []Result
+	err       error // set before done closes when the job was skipped
+	done      chan struct{}
+}
+
+// engine is the inference machinery behind one served detector: a coalescing
+// job queue, a single batch-forming dispatcher, and a pool of workers that
+// own tensor workspaces. PR 1–3 baked this into Server; it is now a
+// free-standing unit so a Registry can run one engine per model and swap
+// engines atomically without touching the HTTP layer.
+//
+// Lifecycle: newEngine starts the goroutines; Close drains queued jobs, waits
+// for in-flight batches to finish, and releases the workers. After Close,
+// DetectContext fails with ErrServerClosed — callers holding a stale engine
+// (one swapped out of a registry) re-fetch and retry, so a hot-swap drops no
+// requests.
+type engine struct {
+	det     Detector
+	cfg     BatchConfig
+	jobs    chan *detectJob
+	batches chan []*detectJob
+
+	mu     sync.RWMutex // guards closed vs. enqueue
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newEngine starts the dispatcher and worker pool for det. cfg must already
+// be filled.
+func newEngine(det Detector, cfg BatchConfig) *engine {
+	e := &engine{
+		det:     det,
+		cfg:     cfg,
+		jobs:    make(chan *detectJob, cfg.QueueDepth),
+		batches: make(chan []*detectJob, cfg.Workers),
+	}
+	e.wg.Add(1)
+	go e.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close drains queued requests, stops the inference workers, and fails
+// subsequent DetectContext calls with ErrServerClosed. It blocks until every
+// in-flight batch has completed — the drain guarantee Registry.Swap relies on
+// — and is idempotent.
+func (e *engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// DetectContext classifies sentences through the coalescing layer, blocking
+// until their results are ready (in input order). It returns ctx.Err() as
+// soon as ctx is done, whether the job is still queued or in flight, and the
+// batch runner skips enqueued jobs whose context has already been cancelled
+// instead of computing results nobody will read.
+func (e *engine) DetectContext(ctx context.Context, sentences []string) ([]Result, error) {
+	if len(sentences) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j := &detectJob{ctx: ctx, sentences: sentences, done: make(chan struct{})}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrServerClosed
+	}
+	select {
+	case e.jobs <- j:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case <-j.done:
+		// A skipped job closes done with err set; returning it (rather than
+		// assuming results exist) matters because this select can win the
+		// race against ctx.Done after a cancellation.
+		return j.results, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch is the single batch-forming goroutine: it takes one queued job,
+// coalesces more until the batch is full, the flush deadline passes, or the
+// queue goes idle, then hands the batch to the worker pool. Centralizing
+// batch formation here (rather than in each worker) means two concurrent
+// requests coalesce even when many workers sit idle.
+func (e *engine) dispatch() {
+	defer e.wg.Done()
+	defer close(e.batches)
+	for job := range e.jobs {
+		batch := []*detectJob{job}
+		n := len(job.sentences)
+		if e.cfg.FlushDelay > 0 {
+			timer := time.NewTimer(e.cfg.FlushDelay)
+		fill:
+			for n < e.cfg.MaxBatch {
+				select {
+				case nj, ok := <-e.jobs:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, nj)
+					n += len(nj.sentences)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for n < e.cfg.MaxBatch {
+				select {
+				case nj, ok := <-e.jobs:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, nj)
+					n += len(nj.sentences)
+				default:
+					break drain
+				}
+			}
+		}
+		e.batches <- batch
+	}
+}
+
+// worker executes dispatched batches through the detector. Each worker owns
+// one tensor.Workspace for its lifetime: when the detector supports
+// workspace-threaded batches (BatchWSDetector), every model invocation
+// reuses the worker's arena instead of allocating its temporaries, so
+// steady-state serving is allocation-free outside request plumbing.
+func (e *engine) worker() {
+	defer e.wg.Done()
+	ws := tensor.GetWorkspace()
+	defer tensor.PutWorkspace(ws)
+	wsDet, _ := e.det.(BatchWSDetector)
+	for batch := range e.batches {
+		e.runBatch(batch, wsDet, ws)
+	}
+}
+
+// runBatch classifies the coalesced sentences in MaxBatch-sized chunks and
+// hands each job a private copy of its results, preserving input order.
+// Copying (rather than sub-slicing one shared backing array) keeps jobs from
+// aliasing each other's memory once their waiters take ownership. Jobs whose
+// caller already cancelled are skipped entirely — their sentences never
+// reach the model. The worker's workspace is reset between chunks, bounding
+// the arena to one chunk's scratch.
+func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
+	live := make([]*detectJob, 0, len(batch))
+	total := 0
+	for _, j := range batch {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.err = j.ctx.Err()
+			close(j.done) // waiter already gone; unblock any racing reader
+			continue
+		}
+		live = append(live, j)
+		total += len(j.sentences)
+	}
+	all := make([]string, 0, total)
+	for _, j := range live {
+		all = append(all, j.sentences...)
+	}
+	results := make([]Result, 0, total)
+	for lo := 0; lo < len(all); lo += e.cfg.MaxBatch {
+		hi := min(lo+e.cfg.MaxBatch, len(all))
+		if wsDet != nil {
+			ws.Reset()
+			results = append(results, wsDet.DetectBatchWS(all[lo:hi], ws)...)
+		} else {
+			results = append(results, e.det.DetectBatch(all[lo:hi])...)
+		}
+	}
+	off := 0
+	for _, j := range live {
+		n := len(j.sentences)
+		j.results = append(make([]Result, 0, n), results[off:off+n]...)
+		off += n
+		close(j.done)
+	}
+}

@@ -14,7 +14,6 @@ import (
 
 	"repro/internal/flowbench"
 	"repro/internal/logparse"
-	"repro/internal/tensor"
 )
 
 // DetectRequest is the body of POST /v1/detect. Exactly one of Sentence or
@@ -56,8 +55,16 @@ type MonitorResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
-// AlertEvent is the SSE wire form of an Alert (`event: alert`).
+// ModelsResponse is the body of GET /v1/models.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// AlertEvent is the SSE wire form of an Alert (`event: alert`). Model names
+// which registry model produced the event, so subscribers to the shared
+// /v1/alerts stream can attribute interleaved events in multi-model serving.
 type AlertEvent struct {
+	Model  string         `json:"model"`
 	Line   string         `json:"line"`
 	Trace  int            `json:"trace"`
 	Node   int            `json:"node"`
@@ -67,6 +74,7 @@ type AlertEvent struct {
 // TraceEvent is the SSE wire form of a trace-flagged verdict
 // (`event: trace`).
 type TraceEvent struct {
+	Model     string  `json:"model"`
 	Trace     int     `json:"trace"`
 	Jobs      int     `json:"jobs"`
 	Anomalous int     `json:"anomalous"`
@@ -74,7 +82,7 @@ type TraceEvent struct {
 	Flagged   bool    `json:"flagged"`
 }
 
-// BatchConfig tunes the server's request-coalescing layer.
+// BatchConfig tunes one served model's request-coalescing layer.
 type BatchConfig struct {
 	// MaxBatch caps the number of sentences per model invocation
 	// (default 32).
@@ -96,7 +104,7 @@ type BatchConfig struct {
 	// Policy is the trace-flagging policy for /v1/monitor ingest (zero
 	// value means DefaultTracePolicy).
 	Policy TracePolicy
-	// MaxTraces bounds the server's online trace window (default 4096).
+	// MaxTraces bounds the model's online trace window (default 4096).
 	MaxTraces int
 }
 
@@ -122,109 +130,86 @@ func (c *BatchConfig) fill() {
 	// Policy and MaxTraces zero values are resolved by NewTraceTracker.
 }
 
-// ErrServerClosed is returned by Detect after Close.
-var ErrServerClosed = errors.New("core: server closed")
-
 // maxJSONBody caps JSON request bodies that must be fully materialized
 // before processing (/v1/detect/batch and /v1/monitor's JSON form). The
 // plain-text /v1/monitor body streams and needs no cap.
 const maxJSONBody = 32 << 20
 
-// detectJob is one coalescable unit of work: the sentences of a single HTTP
-// request (or programmatic Detect call) and the slot their results land in.
-// ctx is the caller's context: a job whose caller has gone away by the time
-// its batch runs is skipped instead of computed for nobody.
-type detectJob struct {
-	ctx       context.Context
-	sentences []string
-	results   []Result
-	err       error // set before done closes when the job was skipped
-	done      chan struct{}
-}
-
-// Server exposes a Detector over HTTP:
+// Server exposes a Registry of detectors over HTTP:
 //
 //	POST /v1/detect        {"sentence": "..."} or {"log_line": "..."}
 //	POST /v1/detect/batch  {"sentences": ["...", ...]}
 //	POST /v1/monitor       raw log lines (or {"lines": [...]}) → MonitorReport
+//	GET  /v1/models        registered models and their serving stats
 //	GET  /v1/alerts        SSE stream of alerts + trace-flagged verdicts
 //	GET  /healthz
 //
-// This is the deployment story the paper motivates: system administrators
-// point their workflow logs at a running service instead of standing up an
-// ML pipeline.
+// Detection and monitor endpoints take an optional ?model=<name> query
+// parameter; without it requests route to the registry's default model. This
+// is the deployment story the paper motivates, grown to production shape:
+// system administrators point workflow logs at one running service hosting a
+// detector per workflow or per approach, and operators hot-swap retrained
+// artifacts (Registry.Swap) without restarting or dropping requests.
 //
-// Requests are micro-batched: handlers enqueue their sentences on a shared
-// queue; a single dispatcher goroutine coalesces concurrent requests into
-// batches of up to MaxBatch sentences (waiting up to FlushDelay to fill a
-// partial batch) and hands each batch to a pool of inference workers. The
-// dispatcher/worker split means coalescing engages for any burst of two or
-// more in-flight requests, regardless of the worker count; under concurrent
-// load many single-sentence forward passes become a few batched ones while
-// preserving per-request result order.
+// Requests are micro-batched per model: handlers enqueue their sentences on
+// the model's queue; a dispatcher goroutine coalesces concurrent requests
+// into batches of up to MaxBatch sentences (waiting up to FlushDelay to fill
+// a partial batch) and hands each batch to the model's pool of inference
+// workers. Under concurrent load many single-sentence forward passes become
+// a few batched ones while preserving per-request result order.
 type Server struct {
-	det     Detector
-	mux     *http.ServeMux
-	cfg     BatchConfig
-	jobs    chan *detectJob
-	batches chan []*detectJob
+	reg *Registry
+	mux *http.ServeMux
 
-	bus     *alertBus
-	tracker *TraceTracker
+	bus *alertBus
 
-	mu          sync.RWMutex // guards closed vs. enqueue
-	closed      bool
-	wg          sync.WaitGroup
 	streams     chan struct{} // closed by CloseStreams: terminates SSE handlers
 	streamsOnce sync.Once
 }
 
-// NewServer wraps a detector in an HTTP handler with the default batching
-// configuration.
+// NewServer wraps a single detector in an HTTP handler with the default
+// batching configuration, registered under DefaultModel.
 func NewServer(det Detector) *Server { return NewServerWith(det, DefaultBatchConfig()) }
 
-// NewServerWith wraps a detector with an explicit batching configuration and
-// starts the inference workers. Call Close to stop them.
+// NewServerWith wraps a single detector with an explicit batching
+// configuration and starts its inference workers. Call Close to stop them.
 func NewServerWith(det Detector, cfg BatchConfig) *Server {
-	cfg.fill()
+	reg := NewRegistry()
+	if err := reg.Add(DefaultModel, det, cfg); err != nil {
+		panic(err) // fresh registry, fixed name: cannot fail
+	}
+	return NewServerRegistry(reg)
+}
+
+// NewServerRegistry wraps an existing registry — typically holding several
+// models loaded from artifacts — in the HTTP layer. The server takes
+// ownership: Server.Close closes the registry.
+func NewServerRegistry(reg *Registry) *Server {
 	s := &Server{
-		det:     det,
+		reg:     reg,
 		mux:     http.NewServeMux(),
-		cfg:     cfg,
-		jobs:    make(chan *detectJob, cfg.QueueDepth),
-		batches: make(chan []*detectJob, cfg.Workers),
 		bus:     newAlertBus(),
-		tracker: NewTraceTracker(cfg.Policy, cfg.MaxTraces),
 		streams: make(chan struct{}),
 	}
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/detect/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/monitor", s.handleMonitor)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.wg.Add(1)
-	go s.dispatch()
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
 	return s
 }
 
-// Close drains queued requests, stops the inference workers, terminates any
-// open /v1/alerts streams, and fails subsequent Detect calls with
-// ErrServerClosed. It is idempotent.
+// Registry returns the server's model registry, through which models are
+// added, swapped, and removed while serving.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close drains queued requests, stops every model's inference workers,
+// terminates any open /v1/alerts streams, and fails subsequent Detect calls
+// with ErrServerClosed. It is idempotent.
 func (s *Server) Close() {
 	s.CloseStreams()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	close(s.jobs)
-	s.mu.Unlock()
-	s.wg.Wait()
+	s.reg.Close()
 }
 
 // CloseStreams terminates open /v1/alerts SSE connections without stopping
@@ -236,91 +221,95 @@ func (s *Server) CloseStreams() {
 	s.streamsOnce.Do(func() { close(s.streams) })
 }
 
-// Detect classifies sentences through the coalescing layer, blocking until
-// their results are ready (in input order). It is the programmatic form of
-// the HTTP endpoints and is safe for concurrent use.
+// Detect classifies sentences through the default model's coalescing layer,
+// blocking until their results are ready (in input order). It is the
+// programmatic form of the HTTP endpoints and is safe for concurrent use.
 func (s *Server) Detect(sentences []string) ([]Result, error) {
-	return s.DetectContext(context.Background(), sentences)
+	return s.DetectModelContext(context.Background(), "", sentences)
 }
 
-// DetectContext is Detect honoring caller cancellation: it returns ctx.Err()
-// as soon as ctx is done, whether the job is still queued or in flight, and
-// the batch runner skips enqueued jobs whose context has already been
-// cancelled instead of computing results nobody will read. The HTTP handlers
-// thread their request contexts through here, so a disconnected client stops
-// occupying a worker.
+// DetectContext is Detect honoring caller cancellation; see
+// DetectModelContext.
 func (s *Server) DetectContext(ctx context.Context, sentences []string) ([]Result, error) {
-	if len(sentences) == 0 {
-		return nil, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	j := &detectJob{ctx: ctx, sentences: sentences, done: make(chan struct{})}
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return nil, ErrServerClosed
-	}
-	select {
-	case s.jobs <- j:
-		s.mu.RUnlock()
-	case <-ctx.Done():
-		s.mu.RUnlock()
-		return nil, ctx.Err()
-	}
-	select {
-	case <-j.done:
-		// A skipped job closes done with err set; returning it (rather than
-		// assuming results exist) matters because this select can win the
-		// race against ctx.Done after a cancellation.
-		return j.results, j.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	return s.DetectModelContext(ctx, "", sentences)
+}
+
+// DetectModelContext classifies sentences through the named model ("" routes
+// to the default). It returns ctx.Err() as soon as ctx is done, whether the
+// job is still queued or in flight. If the model is hot-swapped between
+// routing and enqueueing, the call transparently retries against the
+// replacement engine — a Swap under concurrent load drops no requests.
+func (s *Server) DetectModelContext(ctx context.Context, model string, sentences []string) ([]Result, error) {
+	for {
+		eng, err := s.reg.route(model)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.DetectContext(ctx, sentences)
+		if errors.Is(err, ErrServerClosed) {
+			// The engine was swapped out (or the registry closed) between
+			// route and enqueue. Re-route: a swap installs a replacement the
+			// retry lands on; a closed registry surfaces ErrServerClosed from
+			// route and terminates the loop.
+			continue
+		}
+		return res, err
 	}
 }
 
-// MonitorIngest streams raw log lines from r through the server's
-// micro-batching monitor, folding trace state into the server's persistent
-// tracker and publishing alert and trace-flagged events to /v1/alerts
-// subscribers (plus any extra sinks). It backs POST /v1/monitor and
-// anomalyd's -tail mode.
-//
-// Inference goes through the same coalescing queue as /v1/detect: each
-// chunk is enqueued as one job, so concurrent ingests share the worker
-// pool's backpressure (QueueDepth) instead of spawning their own unbounded
-// inference — /v1/monitor cannot starve detect traffic of workers.
+// MonitorIngest streams raw log lines from r through the default model's
+// micro-batching monitor; see MonitorIngestModel.
 func (s *Server) MonitorIngest(ctx context.Context, r io.Reader, strict bool, extra ...AlertSink) (MonitorReport, error) {
-	s.mu.RLock()
-	closed := s.closed
-	s.mu.RUnlock()
-	if closed {
-		return MonitorReport{}, ErrServerClosed
+	return s.MonitorIngestModel(ctx, "", r, strict, extra...)
+}
+
+// MonitorIngestModel streams raw log lines from r through the named model's
+// micro-batching monitor ("" routes to the default), folding trace state into
+// that model's persistent tracker and publishing alert and trace-flagged
+// events to /v1/alerts subscribers (plus any extra sinks). It backs POST
+// /v1/monitor and anomalyd's -tail mode.
+//
+// Inference goes through the same per-model coalescing queue as /v1/detect:
+// each chunk is enqueued as one job, so concurrent ingests share the worker
+// pool's backpressure (QueueDepth) instead of spawning their own unbounded
+// inference — /v1/monitor cannot starve detect traffic of workers. The model
+// name is resolved once at the start, so a stream keeps feeding the same
+// logical model even while its detector is hot-swapped mid-ingest.
+func (s *Server) MonitorIngestModel(ctx context.Context, model string, r io.Reader, strict bool, extra ...AlertSink) (MonitorReport, error) {
+	name, tracker, cfg, err := s.reg.monitorState(model)
+	if err != nil {
+		return MonitorReport{}, err
+	}
+	det, err := s.reg.Detector(name)
+	if err != nil {
+		return MonitorReport{}, err
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	qd := &queueDetector{inner: s.det, s: s, ctx: ctx, cancel: cancel}
-	cfg := MonitorConfig{
-		ChunkSize: s.cfg.MaxBatch,
-		Workers:   s.cfg.Workers,
+	qd := &queueDetector{inner: det, s: s, model: name, ctx: ctx, cancel: cancel}
+	mcfg := MonitorConfig{
+		ChunkSize: cfg.MaxBatch,
+		Workers:   cfg.Workers,
 		Strict:    strict,
-		Tracker:   s.tracker,
-		Sinks:     append([]AlertSink{busSink{s.bus}}, extra...),
+		Tracker:   tracker,
+		Sinks:     append([]AlertSink{busSink{bus: s.bus, model: name}}, extra...),
 	}
-	report, err := MonitorWith(ctx, qd, r, cfg)
+	report, err := MonitorWith(ctx, qd, r, mcfg)
 	if qerr := qd.firstErr(); qerr != nil && (err == nil || errors.Is(err, context.Canceled)) {
 		err = qerr
 	}
 	return report, err
 }
 
-// queueDetector adapts the server's coalescing Detect path to the monitor's
-// Detector interface: monitor chunks become queue jobs executed by the
-// pooled inference workers (which own the workspaces), rather than direct
-// model calls. On a queue error it cancels the ingest and records the cause.
+// queueDetector adapts the server's coalescing per-model detect path to the
+// monitor's Detector interface: monitor chunks become queue jobs executed by
+// the model's pooled inference workers (which own the workspaces), rather
+// than direct model calls. On a queue error it cancels the ingest and records
+// the cause.
 type queueDetector struct {
 	inner  Detector
 	s      *Server
+	model  string
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -329,7 +318,7 @@ type queueDetector struct {
 }
 
 func (d *queueDetector) DetectBatch(sentences []string) []Result {
-	res, err := d.s.DetectContext(d.ctx, sentences)
+	res, err := d.s.DetectModelContext(d.ctx, d.model, sentences)
 	if err != nil {
 		d.mu.Lock()
 		if d.err == nil && !errors.Is(err, context.Canceled) {
@@ -363,116 +352,58 @@ func (d *queueDetector) DetectJob(j flowbench.Job) Result {
 }
 func (d *queueDetector) Approach() Approach { return d.inner.Approach() }
 
-// dispatch is the single batch-forming goroutine: it takes one queued job,
-// coalesces more until the batch is full, the flush deadline passes, or the
-// queue goes idle, then hands the batch to the worker pool. Centralizing
-// batch formation here (rather than in each worker) means two concurrent
-// requests coalesce even when many workers sit idle.
-func (s *Server) dispatch() {
-	defer s.wg.Done()
-	defer close(s.batches)
-	for job := range s.jobs {
-		batch := []*detectJob{job}
-		n := len(job.sentences)
-		if s.cfg.FlushDelay > 0 {
-			timer := time.NewTimer(s.cfg.FlushDelay)
-		fill:
-			for n < s.cfg.MaxBatch {
-				select {
-				case nj, ok := <-s.jobs:
-					if !ok {
-						break fill
-					}
-					batch = append(batch, nj)
-					n += len(nj.sentences)
-				case <-timer.C:
-					break fill
-				}
-			}
-			timer.Stop()
-		} else {
-		drain:
-			for n < s.cfg.MaxBatch {
-				select {
-				case nj, ok := <-s.jobs:
-					if !ok {
-						break drain
-					}
-					batch = append(batch, nj)
-					n += len(nj.sentences)
-				default:
-					break drain
-				}
-			}
-		}
-		s.batches <- batch
-	}
-}
-
-// worker executes dispatched batches through the detector. Each worker owns
-// one tensor.Workspace for its lifetime: when the detector supports
-// workspace-threaded batches (BatchWSDetector), every model invocation
-// reuses the worker's arena instead of allocating its temporaries, so
-// steady-state serving is allocation-free outside request plumbing.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	ws := tensor.GetWorkspace()
-	defer tensor.PutWorkspace(ws)
-	wsDet, _ := s.det.(BatchWSDetector)
-	for batch := range s.batches {
-		s.runBatch(batch, wsDet, ws)
-	}
-}
-
-// runBatch classifies the coalesced sentences in MaxBatch-sized chunks and
-// hands each job a private copy of its results, preserving input order.
-// Copying (rather than sub-slicing one shared backing array) keeps jobs from
-// aliasing each other's memory once their waiters take ownership. Jobs whose
-// caller already cancelled are skipped entirely — their sentences never
-// reach the model. The worker's workspace is reset between chunks, bounding
-// the arena to one chunk's scratch.
-func (s *Server) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
-	live := make([]*detectJob, 0, len(batch))
-	total := 0
-	for _, j := range batch {
-		if j.ctx != nil && j.ctx.Err() != nil {
-			j.err = j.ctx.Err()
-			close(j.done) // waiter already gone; unblock any racing reader
-			continue
-		}
-		live = append(live, j)
-		total += len(j.sentences)
-	}
-	all := make([]string, 0, total)
-	for _, j := range live {
-		all = append(all, j.sentences...)
-	}
-	results := make([]Result, 0, total)
-	for lo := 0; lo < len(all); lo += s.cfg.MaxBatch {
-		hi := min(lo+s.cfg.MaxBatch, len(all))
-		if wsDet != nil {
-			ws.Reset()
-			results = append(results, wsDet.DetectBatchWS(all[lo:hi], ws)...)
-		} else {
-			results = append(results, s.det.DetectBatch(all[lo:hi])...)
-		}
-	}
-	off := 0
-	for _, j := range live {
-		n := len(j.sentences)
-		j.results = append(make([]Result, 0, n), results[off:off+n]...)
-		off += n
-		close(j.done)
-	}
-}
-
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// healthResponse is the /healthz body: the default model's serving knobs
+// (kept flat for single-model deployments and monitoring probes) plus the
+// registry size.
+type healthResponse struct {
+	Status       string   `json:"status"`
+	Approach     Approach `json:"approach"`
+	MaxBatch     int      `json:"max_batch"`
+	Workers      int      `json:"workers"`
+	MaxRequest   int      `json:"max_request"`
+	ActiveTraces int      `json:"active_traces"`
+	Models       int      `json:"models"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","approach":%q,"max_batch":%d,"workers":%d,"max_request":%d,"active_traces":%d}`,
-		s.det.Approach(), s.cfg.MaxBatch, s.cfg.Workers, s.cfg.MaxRequest, s.tracker.Len())
+	resp := healthResponse{Status: "ok", Models: s.reg.Len()}
+	for _, info := range s.reg.Info() {
+		if info.Default {
+			resp.Approach = info.Approach
+			resp.MaxBatch = info.MaxBatch
+			resp.Workers = info.Workers
+			resp.MaxRequest = info.MaxRequest
+			resp.ActiveTraces = info.ActiveTraces
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleModels is GET /v1/models: the registered models, their approaches,
+// and per-model serving stats — what an operator checks before routing
+// traffic with ?model= or hot-swapping an artifact.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, ModelsResponse{Models: s.reg.Info()})
+}
+
+// modelParam extracts the ?model= routing parameter ("" = default model).
+func modelParam(r *http.Request) string { return r.URL.Query().Get("model") }
+
+// writeDetectError maps routing/queue errors to HTTP statuses: unknown model
+// names are the client's mistake (404), everything else is unavailability.
+func writeDetectError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrUnknownModel) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -502,9 +433,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "set exactly one of sentence or log_line", http.StatusBadRequest)
 		return
 	}
-	results, err := s.DetectContext(r.Context(), []string{sentence})
+	results, err := s.DetectModelContext(r.Context(), modelParam(r), []string{sentence})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeDetectError(w, err)
 		return
 	}
 	writeJSON(w, toResponse(results[0]))
@@ -520,14 +451,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Sentences) > s.cfg.MaxRequest {
-		http.Error(w, fmt.Sprintf("batch of %d sentences exceeds the per-request cap of %d",
-			len(req.Sentences), s.cfg.MaxRequest), http.StatusRequestEntityTooLarge)
+	model := modelParam(r)
+	cfg, err := s.reg.config(model)
+	if err != nil {
+		writeDetectError(w, err)
 		return
 	}
-	results, err := s.DetectContext(r.Context(), req.Sentences)
+	if len(req.Sentences) > cfg.MaxRequest {
+		http.Error(w, fmt.Sprintf("batch of %d sentences exceeds the per-request cap of %d",
+			len(req.Sentences), cfg.MaxRequest), http.StatusRequestEntityTooLarge)
+		return
+	}
+	results, err := s.DetectModelContext(r.Context(), model, req.Sentences)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeDetectError(w, err)
 		return
 	}
 	resp := BatchResponse{Results: make([]DetectResponse, len(results))}
@@ -538,11 +475,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMonitor is POST /v1/monitor: bulk log ingest through the streaming
-// monitor. The body is either plain text (one key=value log line per line)
-// or JSON {"lines": [...]} with Content-Type application/json. `?strict=1`
-// aborts on the first malformed line; the default skips and counts. Alerts
-// and trace-flagged events stream to /v1/alerts subscribers; the response is
-// the run's MonitorReport.
+// monitor of the model named by ?model= (default model otherwise). The body
+// is either plain text (one key=value log line per line) or JSON
+// {"lines": [...]} with Content-Type application/json. `?strict=1` aborts on
+// the first malformed line; the default skips and counts. Alerts and
+// trace-flagged events stream to /v1/alerts subscribers; the response is the
+// run's MonitorReport.
 func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -569,9 +507,12 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 		body = strings.NewReader(strings.Join(req.Lines, "\n"))
 	}
 	strict := r.URL.Query().Get("strict") == "1" || r.URL.Query().Get("strict") == "true"
-	report, err := s.MonitorIngest(r.Context(), body, strict)
+	report, err := s.MonitorIngestModel(r.Context(), modelParam(r), body, strict)
 	resp := MonitorResponse{MonitorReport: report}
 	switch {
+	case errors.Is(err, ErrUnknownModel):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
 	case errors.Is(err, ErrServerClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -669,11 +610,16 @@ func (b *alertBus) publish(name string, v interface{}) {
 }
 
 // busSink adapts the alert bus to the monitor's AlertSink interface,
-// translating core events to their SSE wire forms.
-type busSink struct{ bus *alertBus }
+// translating core events to their SSE wire forms stamped with the serving
+// model's name.
+type busSink struct {
+	bus   *alertBus
+	model string
+}
 
 func (b busSink) Alert(a Alert) {
 	b.bus.publish("alert", AlertEvent{
+		Model:  b.model,
 		Line:   a.Line,
 		Trace:  a.Job.TraceID,
 		Node:   a.Job.NodeIndex,
@@ -683,6 +629,7 @@ func (b busSink) Alert(a Alert) {
 
 func (b busSink) TraceFlagged(v TraceVerdict) {
 	b.bus.publish("trace", TraceEvent{
+		Model:     b.model,
 		Trace:     v.TraceID,
 		Jobs:      v.Jobs,
 		Anomalous: v.Anomalous,

@@ -11,7 +11,10 @@
 package tokenizer
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strconv"
@@ -193,6 +196,102 @@ func (t *Tokenizer) Decode(ids []int) string {
 		sb.WriteString(t.Word(id))
 	}
 	return sb.String()
+}
+
+// Serialization: the vocabulary is the tokenizer's entire state, so the wire
+// format is a magic header, a format version, and the word list in index
+// order. Save and Load round-trip exactly — vocabulary order, special-token
+// ids, numeric buckets, and unknown-token behavior are all preserved.
+const (
+	vocabMagic   = uint32(0x544F4B56) // "TOKV"
+	vocabVersion = uint32(1)
+	// maxWordBytes bounds a single serialized vocabulary word; anything
+	// larger means the stream is not a tokenizer vocabulary.
+	maxWordBytes = 1 << 16
+	// maxVocabWords bounds the vocabulary size Load will allocate for.
+	maxVocabWords = 1 << 24
+)
+
+// Save writes the vocabulary to w in a versioned binary format readable by
+// Load.
+func (t *Tokenizer) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{vocabMagic, vocabVersion, uint32(len(t.words))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, word := range t.words {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(word))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a vocabulary written by Save and reconstructs the tokenizer.
+// The stream is validated: magic and version are checked, the special tokens
+// and numeric buckets must occupy their fixed leading positions (models
+// depend on those ids), and duplicate words are rejected.
+func Load(r io.Reader) (*Tokenizer, error) {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("tokenizer: reading vocabulary magic: %w", err)
+	}
+	if magic != vocabMagic {
+		return nil, fmt.Errorf("tokenizer: bad vocabulary magic %#x (want %#x)", magic, vocabMagic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("tokenizer: reading vocabulary version: %w", err)
+	}
+	if version != vocabVersion {
+		return nil, fmt.Errorf("tokenizer: vocabulary format v%d; this build reads v%d", version, vocabVersion)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("tokenizer: reading vocabulary size: %w", err)
+	}
+	reserved := len(specialTokens) + numBuckets
+	if int(count) < reserved || count > maxVocabWords {
+		return nil, fmt.Errorf("tokenizer: vocabulary of %d words is implausible (need at least %d, at most %d)",
+			count, reserved, maxVocabWords)
+	}
+	words := make([]string, 0, count)
+	idx := make(map[string]int, count)
+	for i := 0; i < int(count); i++ {
+		var wordLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &wordLen); err != nil {
+			return nil, fmt.Errorf("tokenizer: vocabulary truncated at word %d of %d: %w", i, count, err)
+		}
+		if wordLen > maxWordBytes {
+			return nil, fmt.Errorf("tokenizer: word %d has length %d (corrupt vocabulary?)", i, wordLen)
+		}
+		buf := make([]byte, wordLen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("tokenizer: vocabulary truncated reading word %d of %d: %w", i, count, err)
+		}
+		word := string(buf)
+		if _, dup := idx[word]; dup {
+			return nil, fmt.Errorf("tokenizer: duplicate vocabulary word %q at index %d", word, i)
+		}
+		idx[word] = i
+		words = append(words, word)
+	}
+	for i, want := range specialTokens {
+		if words[i] != want {
+			return nil, fmt.Errorf("tokenizer: vocabulary index %d is %q, want special token %q", i, words[i], want)
+		}
+	}
+	for b := 0; b < numBuckets; b++ {
+		i := len(specialTokens) + b
+		if want := fmt.Sprintf("<num%d>", b); words[i] != want {
+			return nil, fmt.Errorf("tokenizer: vocabulary index %d is %q, want numeric bucket %q", i, words[i], want)
+		}
+	}
+	return &Tokenizer{idx: idx, words: words}, nil
 }
 
 // UnknownRate reports the fraction of tokens in text that map to UNK —

@@ -1,6 +1,7 @@
 package tokenizer
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"strings"
@@ -196,4 +197,79 @@ func fmtFloat(v float64) string {
 		v = 0
 	}
 	return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
+// TestSaveLoadRoundTrip pins the vocabulary wire format: a loaded tokenizer
+// must reproduce vocabulary order, special-token ids, numeric buckets, and
+// unknown-token behavior exactly.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tk := Build([]string{
+		"wms_delay is 6.0 queue_delay is 22.0 runtime is 5.0 , normal",
+		"stage_in_bytes is 30000000.0 abnormal .",
+	})
+	var buf bytes.Buffer
+	if err := tk.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VocabSize() != tk.VocabSize() {
+		t.Fatalf("vocab size %d, want %d", got.VocabSize(), tk.VocabSize())
+	}
+	for id := 0; id < tk.VocabSize(); id++ {
+		if got.Word(id) != tk.Word(id) {
+			t.Fatalf("word %d = %q, want %q (vocabulary order not preserved)", id, got.Word(id), tk.Word(id))
+		}
+	}
+	for i, tok := range []string{"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[BOS]", "[EOS]"} {
+		if got.ID(tok) != i {
+			t.Fatalf("special %q = id %d, want %d", tok, got.ID(tok), i)
+		}
+	}
+	// Unknown-token behavior: an out-of-vocab word must map to UNK on both.
+	if got.ID("zebra") != UNK || tk.ID("zebra") != UNK {
+		t.Fatal("out-of-vocab word did not map to UNK")
+	}
+	// Encode must agree on wrapped and unwrapped forms.
+	for _, text := range []string{"wms_delay is 6.0 , normal", "zebra quagga 1e9", ""} {
+		for _, wrap := range []bool{false, true} {
+			a, b := tk.Encode(text, wrap), got.Encode(text, wrap)
+			if len(a) != len(b) {
+				t.Fatalf("Encode(%q, %v) lengths differ: %d vs %d", text, wrap, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Encode(%q, %v)[%d] = %d, want %d", text, wrap, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLoadRejectsCorruptVocabulary exercises the loud-failure paths: bad
+// magic, wrong version, truncation, displaced special tokens, duplicates.
+func TestLoadRejectsCorruptVocabulary(t *testing.T) {
+	tk := Build([]string{"runtime is 5.0"})
+	var buf bytes.Buffer
+	if err := tk.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0})); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	verBumped := append([]byte(nil), good...)
+	verBumped[4] = 99
+	if _, err := Load(bytes.NewReader(verBumped)); err == nil || !strings.Contains(err.Error(), "v99") {
+		t.Fatalf("version error = %v", err)
+	}
+	if _, err := Load(bytes.NewReader(good[:len(good)-3])); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation error = %v", err)
+	}
+	if _, err := Load(bytes.NewReader(good[:6])); err == nil {
+		t.Fatal("expected error on truncated header")
+	}
 }

@@ -74,8 +74,17 @@ func (m *Model) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxParamNameBytes bounds a serialized parameter name. Real names are a few
+// dozen bytes; a larger length means the stream is corrupt or misaligned, and
+// catching it here avoids allocating an attacker- or garbage-sized buffer.
+const maxParamNameBytes = 1 << 12
+
 // Load reads parameters written by Save into the model. The model must have
-// the same architecture (parameter order and shapes) as the one saved.
+// the same architecture (parameter order, names, and shapes) as the one
+// saved; any mismatch — wrong magic, wrong parameter count, a displaced or
+// renamed parameter, a shape difference, or a truncated stream — is rejected
+// with an error naming the offending field and the expected-vs-got values
+// rather than silently mis-reading weights.
 func (m *Model) Load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic uint32
@@ -83,42 +92,50 @@ func (m *Model) Load(r io.Reader) error {
 		return fmt.Errorf("transformer: reading checkpoint magic: %w", err)
 	}
 	if magic != checkpointMagic {
-		return fmt.Errorf("transformer: bad checkpoint magic %#x", magic)
+		return fmt.Errorf("transformer: bad checkpoint magic %#x (want %#x)", magic, checkpointMagic)
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return err
+		return fmt.Errorf("transformer: reading checkpoint param count: %w", err)
 	}
 	params := m.Params()
 	if int(count) != len(params) {
-		return fmt.Errorf("transformer: checkpoint has %d params, model has %d", count, len(params))
+		return fmt.Errorf("transformer: checkpoint has %d params, model has %d (architecture mismatch)", count, len(params))
 	}
-	for _, p := range params {
+	for pi, p := range params {
 		var nameLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return err
+			return fmt.Errorf("transformer: checkpoint truncated at param %d (%s): %w", pi, p.Name, err)
+		}
+		if nameLen > maxParamNameBytes {
+			return fmt.Errorf("transformer: checkpoint param %d has name length %d (corrupt checkpoint?)", pi, nameLen)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
-			return err
+			return fmt.Errorf("transformer: checkpoint truncated reading name of param %d (%s): %w", pi, p.Name, err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("transformer: checkpoint param %d is %q, model expects %q (architecture mismatch)",
+				pi, name, p.Name)
 		}
 		var rows, cols uint32
 		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
-			return err
+			return fmt.Errorf("transformer: checkpoint truncated reading shape of %s: %w", p.Name, err)
 		}
 		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
-			return err
+			return fmt.Errorf("transformer: checkpoint truncated reading shape of %s: %w", p.Name, err)
 		}
 		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
 			return fmt.Errorf("transformer: checkpoint param %s is %dx%d, model expects %dx%d",
-				name, rows, cols, p.W.Rows, p.W.Cols)
+				p.Name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		buf := make([]byte, 4*len(p.W.Data))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("transformer: checkpoint truncated reading %s data (%d floats): %w",
+				p.Name, len(p.W.Data), err)
 		}
 		for i := range p.W.Data {
-			var bits uint32
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return err
-			}
-			p.W.Data[i] = math.Float32frombits(bits)
+			p.W.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 		}
 	}
 	return nil

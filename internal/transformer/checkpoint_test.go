@@ -2,6 +2,7 @@ package transformer
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -79,5 +80,62 @@ func TestLoadRejectsArchitectureMismatch(t *testing.T) {
 	m2 := New(other, tensor.NewRNG(37))
 	if err := m2.Load(&buf); err == nil {
 		t.Fatal("expected error on architecture mismatch")
+	}
+}
+
+func TestLoadRejectsTruncatedCheckpoint(t *testing.T) {
+	m := New(smallConfig(false), tensor.NewRNG(38))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut mid-way through the weight data of some parameter: the error must
+	// say "truncated" and name the field instead of panicking or mis-reading.
+	m2 := New(smallConfig(false), tensor.NewRNG(39))
+	err := m2.Load(bytes.NewReader(full[:len(full)/2]))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation error = %v", err)
+	}
+	// Cut inside the header region too.
+	if err := m2.Load(bytes.NewReader(full[:6])); err == nil {
+		t.Fatal("expected error on truncated header")
+	}
+}
+
+func TestLoadRejectsParamNameMismatch(t *testing.T) {
+	cfg := smallConfig(false)
+	m := New(cfg, tensor.NewRNG(40))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Name = "different-model"
+	m2 := New(other, tensor.NewRNG(41))
+	err := m2.Load(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "model expects") {
+		t.Fatalf("name mismatch error = %v", err)
+	}
+}
+
+func TestLoadErrorNamesShapeMismatch(t *testing.T) {
+	cfg := smallConfig(false)
+	m := New(cfg, tensor.NewRNG(42))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.DModel = 16
+	other.FFNDim = 32
+	m2 := New(other, tensor.NewRNG(43))
+	err := m2.Load(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	// The message must carry the field name and both shapes.
+	if !strings.Contains(err.Error(), "tok_emb") || !strings.Contains(err.Error(), "expects") {
+		t.Fatalf("shape mismatch error lacks field/shape detail: %v", err)
 	}
 }
