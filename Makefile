@@ -4,14 +4,17 @@
 GO ?= go
 
 # The kernel + end-to-end serving benchmarks `make bench` runs and records to
-# BENCH_4.json: tensor kernels, the zero-allocation hot paths, the batched
-# serving pairs (sequential vs batch at the same work per op), the
-# streaming-monitor pair (per-line vs chunked micro-batches on a 1k-line log),
+# BENCH_5.json: tensor kernels (fp32 and int8), the zero-allocation hot
+# paths, the batched serving pairs (sequential vs batch at the same work per
+# op), the fp32-vs-int8 serving pairs at default-model scale (SFTServe*,
+# ICLServe*, KVCacheDecode*, MonitorServe*), the streaming-monitor pair
+# (per-line vs chunked micro-batches on a 1k-line log), the quantization
+# conversion itself (QuantizeInt8 also records fp32_B/int8_B model bytes),
 # and the artifact startup story — StartupTrain vs StartupLoad is the same
 # detector arriving by boot-time retraining vs `anomalyd -load`, and
 # RegistrySwap is hot-swap latency (install + drain) under request load.
-BENCH_PATTERN := MatMul128|MatMulBlockedTall|AttentionForward|DecoderNextToken|KVCacheDecode|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|ServerCoalesced|Monitor|MonitorSequential|StartupTrain|StartupLoad|RegistrySwap
-BENCH_OUT := BENCH_4.json
+BENCH_PATTERN := MatMul128|MatMulBlockedTall|MatMulQ8Tall|AttentionForward|DecoderNextToken|KVCacheDecode|KVCacheDecodeInt8|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|SFTServeBatch8|SFTServeBatch8Int8|ICLServeBatch8|ICLServeBatch8Int8|QuantizeInt8|ServerCoalesced|Monitor|MonitorSequential|MonitorServe|MonitorServeInt8|StartupTrain|StartupLoad|RegistrySwap
+BENCH_OUT := BENCH_5.json
 
 .PHONY: check fmt vet build test bench bench-all
 

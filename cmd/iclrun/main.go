@@ -40,6 +40,7 @@ func main() {
 		preSteps = flag.Int("pretrain", 400, "CLM pre-training steps")
 		seed     = flag.Uint64("seed", 42, "seed")
 		save     = flag.String("save", "", "write the detector artifact (weights + few-shot examples) to this path")
+		quantize = flag.Bool("quantize", false, "int8-quantize after fine-tuning (merging any LoRA adapters): evaluation and the saved artifact use the integer inference path")
 	)
 	flag.Parse()
 
@@ -81,6 +82,12 @@ func main() {
 		fmt.Printf("trainable %d / %d params (%.2f%%); base weights %d B quantized vs %d B fp32\n",
 			res.TrainableParams, res.TotalParams, 100*res.TrainableFraction(),
 			res.QuantBytes, res.FP32Bytes)
+	}
+
+	if *quantize {
+		stats := m.QuantizeInt8(0)
+		fmt.Printf("quantized %d projections to int8: %d B serialized vs %d B fp32 (%.1fx smaller)\n",
+			stats.Layers, stats.CodesBytes, stats.FP32Bytes, float64(stats.FP32Bytes)/float64(stats.CodesBytes))
 	}
 
 	exs := icl.PromptExamples(icl.SelectExamples(ds.Train, *shots, mix, *seed))

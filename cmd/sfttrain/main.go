@@ -35,6 +35,7 @@ func main() {
 		debias   = flag.Bool("debias", false, "add the empty-sentence debiasing augmentation")
 		seed     = flag.Uint64("seed", 42, "seed")
 		save     = flag.String("save", "", "write the trained detector artifact to this path (serve with anomalyd -load)")
+		quantize = flag.Bool("quantize", false, "int8-quantize after training: evaluation and the saved artifact use the integer inference path")
 	)
 	flag.Parse()
 
@@ -71,6 +72,13 @@ func main() {
 	for _, st := range sft.Train(c, sft.JobExamples(ds.Train), sft.JobExamples(ds.Val), cfg) {
 		fmt.Printf("epoch %d: loss=%.4f val_acc=%.4f val_f1=%.4f (%.1fs)\n",
 			st.Epoch, st.TrainLoss, st.Val.Accuracy, st.Val.F1, st.Duration.Seconds())
+	}
+	if *quantize {
+		// Quantize before evaluation so the reported metrics are the served
+		// (int8) detector's, not the fp32 weights the artifact no longer has.
+		stats := m.QuantizeInt8(0)
+		fmt.Printf("quantized %d projections to int8: %d B serialized vs %d B fp32 (%.1fx smaller)\n",
+			stats.Layers, stats.CodesBytes, stats.FP32Bytes, float64(stats.FP32Bytes)/float64(stats.CodesBytes))
 	}
 	conf := sft.Evaluate(c, ds.Test)
 	fmt.Printf("test: %s\n", conf)

@@ -10,14 +10,21 @@
 //	uint32  magic "WFDA"
 //	uint32  format version
 //	section approach name ("sft" | "icl")
+//	section weight precision ("fp32" | "int8")           [v2+]
 //	section transformer.Config as JSON (full architecture; no registry needed)
 //	section tokenizer vocabulary (tokenizer.Save wire format)
 //	section approach metadata as JSON (ICL: LoRA shape + few-shot examples)
-//	section model weights (transformer.Model.Save wire format)
+//	section model weights (transformer.Model.Save wire format; for int8
+//	        artifacts this is the fp32 residue: embeddings, norms, biases,
+//	        classification head)
+//	section int8 projection weights (transformer.Model.SaveQuantized wire
+//	        format)                                      [v2+, int8 only]
 //	uint32  CRC-32 (IEEE) of every preceding byte
 //
-// A wrong magic, an unknown version, or a checksum mismatch fails loudly with
-// a descriptive error — old or corrupt artifacts never load silently.
+// Version 1 artifacts (PR 4, fp32-only: no precision section, no int8
+// section) still load; version 2 is what this build writes. A wrong magic, an
+// unknown version, or a checksum mismatch fails loudly with a descriptive
+// error — old or corrupt artifacts never load silently.
 package core
 
 import (
@@ -43,10 +50,12 @@ const (
 	// artifactMagic identifies a detector artifact ("WFDA": workflow
 	// detector artifact).
 	artifactMagic = uint32(0x57464441)
-	// ArtifactVersion is the artifact format version this build reads and
-	// writes. Bump it on any incompatible layout change; mismatched versions
+	// ArtifactVersion is the artifact format version this build writes.
+	// Version 1 (fp32-only) is still read; versions above ArtifactVersion
 	// are rejected at load.
-	ArtifactVersion = uint32(1)
+	ArtifactVersion = uint32(2)
+	// artifactMinVersion is the oldest format this build still reads.
+	artifactMinVersion = uint32(1)
 	// maxSectionBytes bounds one artifact section (the weights of the
 	// largest registry model are well under this). A larger declared length
 	// means corruption, and catching it avoids a garbage-sized allocation.
@@ -118,6 +127,10 @@ func SaveDetector(w io.Writer, det Detector) error {
 		return fmt.Errorf("core: cannot save detector of type %T (not produced by core.Train or core.LoadDetector)", det)
 	}
 
+	precision := PrecisionFP32
+	if model.IsQuantized() {
+		precision = PrecisionInt8
+	}
 	h := crc32.NewIEEE()
 	mw := io.MultiWriter(w, h)
 	for _, v := range []uint32{artifactMagic, ArtifactVersion} {
@@ -127,6 +140,9 @@ func SaveDetector(w io.Writer, det Detector) error {
 	}
 	if err := writeSection(mw, []byte(approach)); err != nil {
 		return fmt.Errorf("core: writing approach: %w", err)
+	}
+	if err := writeSection(mw, []byte(precision)); err != nil {
+		return fmt.Errorf("core: writing precision: %w", err)
 	}
 	cfgJSON, err := json.Marshal(model.Config)
 	if err != nil {
@@ -156,6 +172,15 @@ func SaveDetector(w io.Writer, det Detector) error {
 	if err := writeSection(mw, wBuf.Bytes()); err != nil {
 		return fmt.Errorf("core: writing weights: %w", err)
 	}
+	if precision == PrecisionInt8 {
+		var qBuf bytes.Buffer
+		if err := model.SaveQuantized(&qBuf); err != nil {
+			return err
+		}
+		if err := writeSection(mw, qBuf.Bytes()); err != nil {
+			return fmt.Errorf("core: writing quantized weights: %w", err)
+		}
+	}
 	// The checksum trailer goes to w only: it covers, not includes, itself.
 	return binary.Write(w, binary.LittleEndian, h.Sum32())
 }
@@ -179,8 +204,9 @@ func LoadDetector(r io.Reader) (Detector, error) {
 	if err := binary.Read(tr, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("core: reading artifact version: %w", err)
 	}
-	if version != ArtifactVersion {
-		return nil, fmt.Errorf("core: detector artifact format v%d; this build reads v%d", version, ArtifactVersion)
+	if version < artifactMinVersion || version > ArtifactVersion {
+		return nil, fmt.Errorf("core: detector artifact format v%d; this build reads v%d–v%d",
+			version, artifactMinVersion, ArtifactVersion)
 	}
 	approachBytes, err := readSection(tr, "approach")
 	if err != nil {
@@ -189,6 +215,18 @@ func LoadDetector(r io.Reader) (Detector, error) {
 	approach := Approach(approachBytes)
 	if approach != SFT && approach != ICL {
 		return nil, fmt.Errorf("core: artifact has unknown approach %q", approach)
+	}
+	// v1 predates mixed precision and is implicitly fp32.
+	precision := PrecisionFP32
+	if version >= 2 {
+		precBytes, err := readSection(tr, "precision")
+		if err != nil {
+			return nil, err
+		}
+		precision = Precision(precBytes)
+		if precision != PrecisionFP32 && precision != PrecisionInt8 {
+			return nil, fmt.Errorf("core: artifact has unknown weight precision %q", precision)
+		}
 	}
 	cfgJSON, err := readSection(tr, "model config")
 	if err != nil {
@@ -220,6 +258,12 @@ func LoadDetector(r io.Reader) (Detector, error) {
 	if err != nil {
 		return nil, err
 	}
+	var quantized []byte
+	if precision == PrecisionInt8 {
+		if quantized, err = readSection(tr, "quantized weights"); err != nil {
+			return nil, err
+		}
+	}
 	sum := h.Sum32()
 	var stored uint32
 	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
@@ -231,9 +275,20 @@ func LoadDetector(r io.Reader) (Detector, error) {
 
 	// Seed is irrelevant: every parameter is overwritten by Load below.
 	model := transformer.New(cfg, tensor.NewRNG(1))
+	// loadWeights restores the model's parameters for either precision. For
+	// int8 artifacts the quantized projections install first, so the fp32
+	// stream's parameter walk matches the residue the artifact carries.
+	loadWeights := func() error {
+		if precision == PrecisionInt8 {
+			if err := model.LoadQuantized(bytes.NewReader(quantized)); err != nil {
+				return err
+			}
+		}
+		return model.Load(bytes.NewReader(weights))
+	}
 	switch approach {
 	case SFT:
-		if err := model.Load(bytes.NewReader(weights)); err != nil {
+		if err := loadWeights(); err != nil {
 			return nil, err
 		}
 		return NewSFTDetector(sft.NewClassifier(model, tok)), nil
@@ -242,10 +297,12 @@ func LoadDetector(r io.Reader) (Detector, error) {
 		if err := json.Unmarshal(metaJSON, &meta); err != nil {
 			return nil, fmt.Errorf("core: decoding ICL metadata: %w", err)
 		}
-		if meta.LoRARank > 0 {
+		// Quantized artifacts never carry LoRA structure: QuantizeInt8 merges
+		// adapters into the bases before the projections are quantized.
+		if meta.LoRARank > 0 && precision == PrecisionFP32 {
 			applyLoRAShape(model, meta.LoRARank, meta.LoRAScale)
 		}
-		if err := model.Load(bytes.NewReader(weights)); err != nil {
+		if err := loadWeights(); err != nil {
 			return nil, err
 		}
 		return NewICLDetector(icl.NewDetector(model, tok), meta.Examples), nil

@@ -36,6 +36,32 @@ const (
 	ICL Approach = "icl" // prompted decoder with few-shot examples
 )
 
+// Precision names the weight format a detector serves with.
+type Precision string
+
+// Serving precisions. PrecisionFP32 is the trained form; PrecisionInt8 is
+// the integer-compute form produced by QuantizeDetector.
+const (
+	PrecisionFP32 Precision = "fp32"
+	PrecisionInt8 Precision = "int8"
+)
+
+// PrecisionReporter is optionally implemented by detectors that know their
+// weight precision. Detectors that do not implement it (foreign Detector
+// implementations, test stubs) are reported as fp32.
+type PrecisionReporter interface {
+	Precision() Precision
+}
+
+// DetectorPrecision reports det's serving precision, defaulting to fp32 for
+// detectors that do not implement PrecisionReporter.
+func DetectorPrecision(det Detector) Precision {
+	if pr, ok := det.(PrecisionReporter); ok {
+		return pr.Precision()
+	}
+	return PrecisionFP32
+}
+
 // Result is a single detection outcome.
 type Result struct {
 	// Label is 0 (normal) or 1 (abnormal).
@@ -113,6 +139,13 @@ func (d *sftDetector) DetectJob(j flowbench.Job) Result {
 
 func (d *sftDetector) Approach() Approach { return SFT }
 
+func (d *sftDetector) Precision() Precision {
+	if d.clf.Model.IsQuantized() {
+		return PrecisionInt8
+	}
+	return PrecisionFP32
+}
+
 // iclDetector adapts an icl.Detector with a fixed few-shot context. The
 // context's KV cache is built lazily on first batched use and shared by all
 // subsequent (possibly concurrent) DetectBatch calls.
@@ -163,6 +196,36 @@ func (d *iclDetector) DetectJob(j flowbench.Job) Result {
 }
 
 func (d *iclDetector) Approach() Approach { return ICL }
+
+func (d *iclDetector) Precision() Precision {
+	if d.det.Model.IsQuantized() {
+		return PrecisionInt8
+	}
+	return PrecisionFP32
+}
+
+// QuantizeDetector converts a trained (or loaded) detector to int8 serving
+// form: LoRA adapters are merged, every transformer projection switches to
+// the integer compute path, and a fresh Detector wrapping the same model is
+// returned (fresh so an ICL detector's prompt KV cache is rebuilt through the
+// quantized weights rather than reusing fp32 activations). Quantize before
+// serving traffic; the input detector must not be used afterwards. Detectors
+// not produced by this package are rejected, as are already-quantized ones.
+func QuantizeDetector(det Detector) (Detector, error) {
+	if DetectorPrecision(det) == PrecisionInt8 {
+		return nil, fmt.Errorf("core: detector is already int8-quantized")
+	}
+	switch d := det.(type) {
+	case *sftDetector:
+		d.clf.Model.QuantizeInt8(0)
+		return NewSFTDetector(d.clf), nil
+	case *iclDetector:
+		d.det.Model.QuantizeInt8(0)
+		return NewICLDetector(d.det, d.examples), nil
+	default:
+		return nil, fmt.Errorf("core: cannot quantize detector of type %T (not produced by core.Train or core.LoadDetector)", det)
+	}
+}
 
 // Options configures the end-to-end Train pipeline.
 type Options struct {

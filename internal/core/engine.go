@@ -185,6 +185,12 @@ func (e *engine) worker() {
 // caller already cancelled are skipped entirely — their sentences never
 // reach the model. The worker's workspace is reset between chunks, bounding
 // the arena to one chunk's scratch.
+//
+// Identical sentences inside the coalesced batch are classified once:
+// production log streams are highly repetitive (a stuck job re-emitting the
+// same line, fleets of identical workers), so deduplication converts repeats
+// into near-free throughput. Detection is a pure function of the sentence
+// text, which makes the fan-back exact, not approximate.
 func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
 	live := make([]*detectJob, 0, len(batch))
 	total := 0
@@ -201,15 +207,43 @@ func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.
 	for _, j := range live {
 		all = append(all, j.sentences...)
 	}
-	results := make([]Result, 0, total)
-	for lo := 0; lo < len(all); lo += e.cfg.MaxBatch {
-		hi := min(lo+e.cfg.MaxBatch, len(all))
+	// Dedup before inference: uniq holds the distinct sentences in first-seen
+	// order, remap[i] is sentence i's index into uniq's results.
+	uniq := all
+	var remap []int
+	if total > 1 {
+		seen := make(map[string]int, total)
+		uniq = make([]string, 0, total)
+		remap = make([]int, total)
+		for i, s := range all {
+			if u, dup := seen[s]; dup {
+				remap[i] = u
+				continue
+			}
+			seen[s] = len(uniq)
+			remap[i] = len(uniq)
+			uniq = append(uniq, s)
+		}
+		if len(uniq) == total {
+			remap = nil // nothing repeated; skip the fan-out below
+		}
+	}
+	results := make([]Result, 0, len(uniq))
+	for lo := 0; lo < len(uniq); lo += e.cfg.MaxBatch {
+		hi := min(lo+e.cfg.MaxBatch, len(uniq))
 		if wsDet != nil {
 			ws.Reset()
-			results = append(results, wsDet.DetectBatchWS(all[lo:hi], ws)...)
+			results = append(results, wsDet.DetectBatchWS(uniq[lo:hi], ws)...)
 		} else {
-			results = append(results, e.det.DetectBatch(all[lo:hi])...)
+			results = append(results, e.det.DetectBatch(uniq[lo:hi])...)
 		}
+	}
+	if remap != nil {
+		expanded := make([]Result, total)
+		for i, u := range remap {
+			expanded[i] = results[u]
+		}
+		results = expanded
 	}
 	off := 0
 	for _, j := range live {

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// dedupDetector records every batch it is asked to classify and returns
+// hashResult per sentence, so tests can assert both what reached the model
+// and that fanned-back results stay correct and ordered.
+type dedupDetector struct {
+	hashDetector
+	mu      sync.Mutex
+	batches [][]string
+}
+
+func (d *dedupDetector) DetectBatch(ss []string) []Result {
+	d.mu.Lock()
+	d.batches = append(d.batches, append([]string(nil), ss...))
+	d.mu.Unlock()
+	return d.hashDetector.DetectBatch(ss)
+}
+
+// DetectBatchWS must record too: engine workers prefer the workspace path.
+func (d *dedupDetector) DetectBatchWS(ss []string, _ *tensor.Workspace) []Result {
+	return d.DetectBatch(ss)
+}
+
+func (d *dedupDetector) seen() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, b := range d.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestRunBatchDedupsRepeatedSentences pins the coalescing dedup: repeated
+// sentences in one batch reach the model once, and every caller still gets
+// the right result in input order.
+func TestRunBatchDedupsRepeatedSentences(t *testing.T) {
+	det := &dedupDetector{}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 64, FlushDelay: 0, Workers: 1})
+	defer s.Close()
+
+	// 24 sentences over 4 distinct values, shuffled deterministically.
+	sentences := make([]string, 24)
+	for i := range sentences {
+		sentences[i] = fmt.Sprintf("sentence %d", (i*7)%4)
+	}
+	got, err := s.Detect(sentences)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sentences) {
+		t.Fatalf("got %d results for %d sentences", len(got), len(sentences))
+	}
+	for i, snt := range sentences {
+		if want := hashResult(snt); got[i] != want {
+			t.Fatalf("result %d = %+v, want %+v (input order broken?)", i, got[i], want)
+		}
+	}
+	seen := det.seen()
+	if len(seen) != 4 {
+		t.Fatalf("model classified %d sentences, want 4 distinct (dedup missing): %v", len(seen), seen)
+	}
+	distinct := map[string]bool{}
+	for _, s := range seen {
+		if distinct[s] {
+			t.Fatalf("model saw %q twice", s)
+		}
+		distinct[s] = true
+	}
+}
+
+// TestRunBatchDedupAcrossCoalescedJobs pins that deduplication spans request
+// boundaries inside one coalesced batch: two concurrent requests carrying the
+// same sentence share one model invocation and both get correct results.
+func TestRunBatchDedupAcrossCoalescedJobs(t *testing.T) {
+	det := &dedupDetector{}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 32, FlushDelay: 20 * time.Millisecond, Workers: 1})
+	defer s.Close()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := []string{"shared line", fmt.Sprintf("own line %d", c%2)}
+			res, err := s.DetectContext(context.Background(), req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, snt := range req {
+				if res[i] != hashResult(snt) {
+					errs <- fmt.Errorf("client %d result %d wrong", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		t.Fatal(err)
+	}
+	// Coalescing is timing-dependent, so the exact batch shapes vary — but
+	// the model must never have seen more sentences than the 12 submitted,
+	// and if any coalescing happened, strictly fewer.
+	if seen := det.seen(); len(seen) > 2*clients {
+		t.Fatalf("model classified %d sentences for %d submitted", len(seen), 2*clients)
+	}
+}
+
+// TestRunBatchDedupSingleSentence pins the fast path: a lone sentence skips
+// the dedup map entirely and still classifies correctly.
+func TestRunBatchDedupSingleSentence(t *testing.T) {
+	det := &dedupDetector{}
+	s := NewServerWith(det, BatchConfig{MaxBatch: 8, FlushDelay: 0, Workers: 1})
+	defer s.Close()
+	res, err := s.Detect([]string{"only line"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != hashResult("only line") {
+		t.Fatalf("result = %+v", res[0])
+	}
+}

@@ -193,13 +193,14 @@ func (r *Registry) Detector(name string) (Detector, error) {
 
 // ModelInfo describes one registered model, as reported by GET /v1/models.
 type ModelInfo struct {
-	Name         string   `json:"name"`
-	Approach     Approach `json:"approach"`
-	Default      bool     `json:"default"`
-	MaxBatch     int      `json:"max_batch"`
-	Workers      int      `json:"workers"`
-	MaxRequest   int      `json:"max_request"`
-	ActiveTraces int      `json:"active_traces"`
+	Name         string    `json:"name"`
+	Approach     Approach  `json:"approach"`
+	Precision    Precision `json:"precision"`
+	Default      bool      `json:"default"`
+	MaxBatch     int       `json:"max_batch"`
+	Workers      int       `json:"workers"`
+	MaxRequest   int       `json:"max_request"`
+	ActiveTraces int       `json:"active_traces"`
 }
 
 // Info returns a snapshot of every registered model, sorted by name.
@@ -210,6 +211,7 @@ func (r *Registry) Info() []ModelInfo {
 		out = append(out, ModelInfo{
 			Name:         m.name,
 			Approach:     m.eng.det.Approach(),
+			Precision:    DetectorPrecision(m.eng.det),
 			Default:      m.name == r.def,
 			MaxBatch:     m.cfg.MaxBatch,
 			Workers:      m.cfg.Workers,

@@ -347,6 +347,11 @@ func readLogLine(br *bufio.Reader, max int) (line string, tooLong bool, err erro
 			}
 			return "", true, rerr
 		}
+		if buf == nil && !isPrefix {
+			// Common case: the whole line fit in the reader's buffer — one
+			// string copy, no intermediate accumulation buffer.
+			return string(chunk), false, rerr
+		}
 		buf = append(buf, chunk...)
 		if rerr != nil {
 			return string(buf), false, rerr

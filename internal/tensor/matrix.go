@@ -226,12 +226,10 @@ func MatMulT(dst, a, b *Matrix) *Matrix {
 			ar := a.Data[i*k : (i+1)*k]
 			dr := dst.Data[i*p : (i+1)*p]
 			for j := 0; j < p; j++ {
-				br := b.Data[j*k : (j+1)*k]
-				var sum float32
-				for kk, av := range ar {
-					sum += av * br[kk]
-				}
-				dr[j] = sum
+				// dotUnrolled4 keeps this kernel bitwise identical to its
+				// strided twin (MatMulTStrided), which the head-window tests
+				// pin; the four-way split also pipelines the add chain.
+				dr[j] = dotUnrolled4(ar, b.Data[j*k:(j+1)*k])
 			}
 		}
 	})

@@ -1,0 +1,302 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// refMatMulQ8 is a naive reference of the exact arithmetic MatMulQ8 promises:
+// quantize the activation row, quantize the weights (already done by q), take
+// integer dot products per scale block, and scale back per block in float32.
+func refMatMulQ8(x *Matrix, q *QInt8Matrix) *Matrix {
+	codes := q.Codes()
+	nb := q.Blocks()
+	out := New(x.Rows, q.Out)
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		var absmax float32
+		for _, v := range xrow {
+			if v < 0 {
+				v = -v
+			}
+			if v > absmax {
+				absmax = v
+			}
+		}
+		var inv, sxi float32
+		if absmax > 0 {
+			inv = 127 / absmax
+			sxi = absmax / 127
+		}
+		xq := make([]int32, q.In)
+		for k, v := range xrow {
+			xq[k] = roundToInt32(v * inv)
+		}
+		for j := 0; j < q.Out; j++ {
+			crow := codes[j*q.In : (j+1)*q.In]
+			var f float32
+			for b := 0; b < nb; b++ {
+				lo, hi := b*q.Block, min(b*q.Block+q.Block, q.In)
+				var s int32
+				for k := lo; k < hi; k++ {
+					s += xq[k] * int32(crow[k])
+				}
+				f += float32(s) * q.Scales[j*nb+b]
+			}
+			out.Set(i, j, f*sxi)
+		}
+	}
+	return out
+}
+
+func randomMatrix(rows, cols int, seed uint64, scale float32) *Matrix {
+	m := New(rows, cols)
+	rng := NewRNG(seed)
+	Gaussian(m, float64(scale), rng)
+	return m
+}
+
+// TestMatMulQ8MatchesReference pins the packed SWAR kernel to the naive
+// integer reference bitwise, across shapes that exercise every edge: rows/1,
+// Out % 3 remainders, In not a multiple of the block or of the 16-step flush,
+// and block lengths from sub-flush to whole-row.
+func TestMatMulQ8MatchesReference(t *testing.T) {
+	shapes := []struct{ m, in, out, block int }{
+		{1, 16, 3, 16},
+		{3, 64, 96, 64},
+		{5, 96, 40, 64},  // Out % 3 == 1
+		{4, 80, 80, 64},  // Out % 3 == 2, In % 16 == 0 but In % 64 != 0
+		{2, 50, 7, 17},   // nothing divides anything
+		{7, 33, 1, 8},    // single output channel
+		{1, 192, 2, 256}, // block larger than In (per-channel scales)
+	}
+	for _, s := range shapes {
+		x := randomMatrix(s.m, s.in, uint64(s.m*1000+s.in), 1)
+		w := randomMatrix(s.in, s.out, uint64(s.out*7+3), 0.5)
+		q := QuantizeInt8(w, s.block)
+		got := MatMulQ8(nil, x, q, nil)
+		want := refMatMulQ8(x, q)
+		if !got.Equal(want) {
+			t.Fatalf("shape %+v: MatMulQ8 differs from integer reference", s)
+		}
+	}
+}
+
+// TestMatMulQ8ApproximatesFP32 bounds the end-to-end quantization error of
+// one W8A8 matmul against the fp32 kernel: per-element error should stay
+// within a small multiple of the combined quantization steps.
+func TestMatMulQ8ApproximatesFP32(t *testing.T) {
+	x := randomMatrix(16, 96, 1, 1)
+	w := randomMatrix(96, 96, 2, 0.5)
+	q := QuantizeInt8(w, QInt8Block)
+	got := MatMulQ8(nil, x, q, nil)
+	want := MatMul(nil, x, w)
+	var maxErr, maxAbs float64
+	for i, v := range want.Data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+		if e := math.Abs(float64(v - got.Data[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	// ~1% of the output range is generous for 96-long int8 dot products; a
+	// packing or correction bug is off by orders of magnitude, not percent.
+	if maxErr > 0.01*maxAbs {
+		t.Fatalf("int8 matmul max error %.5f vs output max %.3f", maxErr, maxAbs)
+	}
+}
+
+// TestMatMulQ8Deterministic pins that the result is identical for every row
+// partitioning (integer accumulation has no order sensitivity), including
+// with and without a workspace and with a preallocated destination.
+func TestMatMulQ8Deterministic(t *testing.T) {
+	x := randomMatrix(64, 128, 3, 1)
+	w := randomMatrix(128, 96, 4, 1)
+	q := QuantizeInt8(w, QInt8Block)
+	base := MatMulQ8(nil, x, q, nil)
+	ws := NewWorkspace()
+	for rep := 0; rep < 3; rep++ {
+		ws.Reset()
+		got := MatMulQ8(ws.Get(64, 96), x, q, ws)
+		if !got.Equal(base) {
+			t.Fatal("workspace-backed MatMulQ8 diverged from allocation path")
+		}
+	}
+}
+
+// TestQInt8CodesRoundTrip pins serialization: Codes + Scales rebuild an
+// identical compute form.
+func TestQInt8CodesRoundTrip(t *testing.T) {
+	w := randomMatrix(80, 41, 9, 1)
+	q := QuantizeInt8(w, 32)
+	rt, err := NewQInt8FromCodes(q.In, q.Out, q.Block, q.Codes(), q.Scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Packed) != len(q.Packed) {
+		t.Fatalf("packed length %d vs %d", len(rt.Packed), len(q.Packed))
+	}
+	for i, p := range q.Packed {
+		if rt.Packed[i] != p {
+			t.Fatalf("packed word %d differs after round trip", i)
+		}
+	}
+	for i, a := range q.BlockAdj {
+		if rt.BlockAdj[i] != a {
+			t.Fatalf("block adjustment %d differs after round trip", i)
+		}
+	}
+	x := randomMatrix(4, 80, 10, 1)
+	if !MatMulQ8(nil, x, rt, nil).Equal(MatMulQ8(nil, x, q, nil)) {
+		t.Fatal("round-tripped matrix computes different results")
+	}
+}
+
+// TestQInt8FromCodesValidation pins the error paths: wrong lengths and the
+// unused -128 code are rejected rather than silently mis-packed.
+func TestQInt8FromCodesValidation(t *testing.T) {
+	w := randomMatrix(8, 3, 11, 1)
+	q := QuantizeInt8(w, 8)
+	if _, err := NewQInt8FromCodes(8, 3, 8, q.Codes()[:10], q.Scales); err == nil {
+		t.Fatal("short codes accepted")
+	}
+	if _, err := NewQInt8FromCodes(8, 3, 8, q.Codes(), q.Scales[:1]); err == nil {
+		t.Fatal("short scales accepted")
+	}
+	bad := q.Codes()
+	bad[0] = -128
+	if _, err := NewQInt8FromCodes(8, 3, 8, bad, q.Scales); err == nil {
+		t.Fatal("-128 code accepted")
+	}
+	if _, err := NewQInt8FromCodes(0, 3, 8, nil, nil); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+}
+
+// TestQInt8Dequantize pins that dequantization inverts the codes exactly
+// (code · scale per element) and that quantization error is bounded by half a
+// scale step per element.
+func TestQInt8Dequantize(t *testing.T) {
+	w := randomMatrix(96, 40, 12, 1)
+	q := QuantizeInt8(w, QInt8Block)
+	deq := q.Dequantize()
+	nb := q.Blocks()
+	for k := 0; k < q.In; k++ {
+		for j := 0; j < q.Out; j++ {
+			step := q.Scales[j*nb+k/q.Block]
+			diff := math.Abs(float64(w.At(k, j) - deq.At(k, j)))
+			if diff > float64(step)/2+1e-6 {
+				t.Fatalf("dequantized [%d,%d] off by %.6f, step %.6f", k, j, diff, step)
+			}
+		}
+	}
+}
+
+// TestQInt8ZeroInputs pins the degenerate cases: an all-zero activation row
+// and an all-zero weight block both produce exact zeros.
+func TestQInt8ZeroInputs(t *testing.T) {
+	x := New(2, 64) // row 0 all zero
+	for k := 0; k < 64; k++ {
+		x.Set(1, k, float32(k%7)-3)
+	}
+	w := randomMatrix(64, 6, 13, 1)
+	for k := 0; k < 64; k++ {
+		w.Set(k, 2, 0) // channel 2 all zero
+	}
+	q := QuantizeInt8(w, 16)
+	got := MatMulQ8(nil, x, q, nil)
+	for j := 0; j < 6; j++ {
+		if got.At(0, j) != 0 {
+			t.Fatalf("zero activation row produced %v at column %d", got.At(0, j), j)
+		}
+	}
+	if got.At(1, 2) != 0 {
+		t.Fatalf("zero weight channel produced %v", got.At(1, 2))
+	}
+}
+
+// TestMatMulQ8ShapePanics pins the dimension checks.
+func TestMatMulQ8ShapePanics(t *testing.T) {
+	w := randomMatrix(8, 3, 14, 1)
+	q := QuantizeInt8(w, 8)
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("mismatched inner", func() { MatMulQ8(nil, New(2, 9), q, nil) })
+	assertPanics("bad dst", func() { MatMulQ8(New(2, 2), New(2, 8), q, nil) })
+}
+
+// TestMatMulQ8Allocations pins the int8 kernel's zero-allocation steady
+// state on a warmed workspace, for both the single-row decode shape and a
+// small packed batch (shapes chosen under the parallel threshold so the
+// count is machine-independent: the serial path allocates nothing, ever).
+func TestMatMulQ8Allocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	w := randomMatrix(96, 48, 21, 1)
+	q := QuantizeInt8(w, QInt8Block)
+	decode := randomMatrix(1, 96, 22, 1)
+	batch := randomMatrix(3, 96, 23, 1)
+	ws := NewWorkspace()
+	for _, x := range []*Matrix{decode, batch} {
+		ws.Reset()
+		MatMulQ8(ws.Get(x.Rows, q.Out), x, q, ws) // warm the arena
+		allocs := testing.AllocsPerRun(100, func() {
+			ws.Reset()
+			MatMulQ8(ws.Get(x.Rows, q.Out), x, q, ws)
+		})
+		if allocs != 0 {
+			t.Fatalf("MatMulQ8 on %d rows allocates %v times per op, want 0", x.Rows, allocs)
+		}
+	}
+}
+
+// BenchmarkMatMulQ8 vs BenchmarkMatMulBlockedFP32 compares the int8 kernel
+// against the fp32 cache-blocked kernel on the packed-batch shape the serving
+// path feeds them (tall activations against square weights).
+func benchmarkQ8(b *testing.B, m, in, out int) {
+	x := randomMatrix(m, in, 1, 1)
+	w := randomMatrix(in, out, 2, 1)
+	q := QuantizeInt8(w, QInt8Block)
+	ws := NewWorkspace()
+	dst := New(m, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		MatMulQ8(dst, x, q, ws)
+	}
+}
+
+func benchmarkFP32(b *testing.B, m, in, out int) {
+	x := randomMatrix(m, in, 1, 1)
+	w := randomMatrix(in, out, 2, 1)
+	dst := New(m, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulBlocked(dst, x, w)
+	}
+}
+
+func BenchmarkMatMulQ8Tall(b *testing.B)   { benchmarkQ8(b, 512, 128, 128) }
+func BenchmarkMatMulFP32Tall(b *testing.B) { benchmarkFP32(b, 512, 128, 128) }
+func BenchmarkMatMulQ8Row(b *testing.B)    { benchmarkQ8(b, 1, 96, 96) }
+func BenchmarkMatMulFP32Row(b *testing.B)  { benchmarkFP32(b, 1, 96, 96) }
+
+func BenchmarkMatMulQ8Small(b *testing.B)   { benchmarkQ8(b, 384, 40, 40) }
+func BenchmarkMatMulFP32Small(b *testing.B) { benchmarkFP32(b, 384, 40, 40) }
+func BenchmarkMatMulQ8Mid(b *testing.B)     { benchmarkQ8(b, 256, 96, 192) }
+func BenchmarkMatMulFP32Mid(b *testing.B)   { benchmarkFP32(b, 256, 96, 192) }
+
+func BenchmarkMatMulQ8Bert(b *testing.B)     { benchmarkQ8(b, 384, 48, 96) }
+func BenchmarkMatMulFP32Bert(b *testing.B)   { benchmarkFP32(b, 384, 48, 96) }
+func BenchmarkMatMulQ8Bert64(b *testing.B)   { benchmarkQ8(b, 384, 64, 128) }
+func BenchmarkMatMulFP32Bert64(b *testing.B) { benchmarkFP32(b, 384, 64, 128) }

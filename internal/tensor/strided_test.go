@@ -350,3 +350,28 @@ func TestWorkspacePoolConcurrent(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+// TestTanhFast32Tolerance pins the fast tanh against float64 math.Tanh
+// across the argument range, including saturation and special values.
+func TestTanhFast32Tolerance(t *testing.T) {
+	var maxErr float64
+	for x := -12.0; x <= 12.0; x += 0.001 {
+		got := float64(TanhFast32(float32(x)))
+		want := math.Tanh(x)
+		if err := math.Abs(got - want); err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 2e-6 {
+		t.Fatalf("TanhFast32 max abs error %.3g, want ≤ 2e-6", maxErr)
+	}
+	if TanhFast32(float32(math.Inf(1))) != 1 || TanhFast32(float32(math.Inf(-1))) != -1 {
+		t.Fatal("TanhFast32 must saturate at ±Inf")
+	}
+	if v := TanhFast32(float32(math.NaN())); v == v {
+		t.Fatal("TanhFast32 must propagate NaN")
+	}
+	if TanhFast32(0) != 0 {
+		t.Fatal("TanhFast32(0) must be exactly 0")
+	}
+}

@@ -24,6 +24,8 @@ type Workspace struct {
 	vnext int
 	ints  [][]int
 	inext int
+	bytes [][]byte
+	bnext int
 }
 
 // NewWorkspace returns an empty workspace.
@@ -76,6 +78,24 @@ func (w *Workspace) GetInts(n int) []int {
 	return s[:n]
 }
 
+// GetBytes returns a length-n byte scratch slice with unspecified contents.
+// The int8 inference path draws its quantized-activation buffers from here.
+func (w *Workspace) GetBytes(n int) []byte {
+	if w == nil {
+		return make([]byte, n)
+	}
+	if w.bnext == len(w.bytes) {
+		w.bytes = append(w.bytes, nil)
+	}
+	s := w.bytes[w.bnext]
+	if cap(s) < n {
+		s = make([]byte, n)
+		w.bytes[w.bnext] = s
+	}
+	w.bnext++
+	return s[:n]
+}
+
 // RowView returns a matrix header aliasing rows [lo, hi) of m, like
 // Matrix.RowView but with the header itself drawn from the arena so repeated
 // per-sequence views allocate nothing.
@@ -95,6 +115,29 @@ func (w *Workspace) RowView(m *Matrix, lo, hi int) *Matrix {
 	return v
 }
 
+// ShapedView returns a rows×cols matrix header over the first rows*cols
+// elements of m's backing slice, with the header drawn from the arena. It is
+// how one max-sized scratch buffer serves a sequence of smaller shapes (the
+// attention kernel reuses a single score buffer across every sequence of a
+// batch): the data is shared, only the shape differs. m must hold at least
+// rows*cols elements.
+func (w *Workspace) ShapedView(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if n > len(m.Data) {
+		panic("tensor: workspace shaped view larger than its buffer")
+	}
+	if w == nil {
+		return NewFrom(rows, cols, m.Data[:n])
+	}
+	if w.vnext == len(w.views) {
+		w.views = append(w.views, &Matrix{})
+	}
+	v := w.views[w.vnext]
+	w.vnext++
+	v.Rows, v.Cols, v.Data = rows, cols, m.Data[:n]
+	return v
+}
+
 // Reset rewinds the arena: every buffer handed out since the previous Reset
 // is considered free and will be reused by subsequent Gets. Capacity is
 // retained.
@@ -102,7 +145,7 @@ func (w *Workspace) Reset() {
 	if w == nil {
 		return
 	}
-	w.next, w.vnext, w.inext = 0, 0, 0
+	w.next, w.vnext, w.inext, w.bnext = 0, 0, 0, 0
 }
 
 var workspacePool = sync.Pool{New: func() any { return &Workspace{} }}

@@ -64,10 +64,39 @@ func (m *Model) encodeBatch(seqs [][]int, ws *tensor.Workspace) (*tensor.Matrix,
 		offsets[i+1] = offsets[i] + len(ids)
 	}
 	h := m.embedBatch(seqs, offsets, 0, ws)
-	for _, b := range m.Blocks {
-		h, _ = b.inferBatch(h, offsets, LayerKV{}, ws, false)
+	return m.runBlocksBatch(h, offsets, nil, ws), offsets
+}
+
+// runBlocksBatch drives the packed batch through the block stack and the
+// final layer norm, with double-buffered scratch: block intermediates
+// alternate between two pooled workspaces, each reset once its layer's
+// output has been consumed by the next layer. Only the normalized output
+// (and whatever the caller placed there) lands in the caller's arena, so a
+// worker's resident workspace holds ~2 layers of scratch instead of the
+// whole stack's — the difference between the streaming monitor's chunk
+// pipeline rebuilding ~5 MB versus ~2 MB of arena on a cold start. past is
+// the per-layer KV cache (nil when uncached).
+func (m *Model) runBlocksBatch(h *tensor.Matrix, offsets []int, past []LayerKV, ws *tensor.Workspace) *tensor.Matrix {
+	var scratch [2]*tensor.Workspace
+	scratch[0], scratch[1] = tensor.GetWorkspace(), tensor.GetWorkspace()
+	defer tensor.PutWorkspace(scratch[0])
+	defer tensor.PutWorkspace(scratch[1])
+	for li, b := range m.Blocks {
+		wsi := scratch[li%2]
+		if li >= 2 {
+			// This arena holds layer li-2's intermediates; layer li-1 has
+			// already consumed that output, so the buffers are dead.
+			wsi.Reset()
+		}
+		kv := LayerKV{}
+		if past != nil {
+			kv = past[li]
+		}
+		h, _ = b.inferBatch(h, offsets, kv, wsi, false)
 	}
-	return m.FinalLN.Infer(h, ws), offsets
+	// The final norm reads the last block's output from its scratch arena
+	// (still alive here) and writes into the caller's workspace.
+	return m.FinalLN.Infer(h, ws)
 }
 
 // embedBatch gathers token+position embeddings for the packed batch.
@@ -102,9 +131,9 @@ func (b *Block) inferBatch(x *tensor.Matrix, offsets []int, past LayerKV, ws *te
 	x1 := tensor.Add(h, x, h)
 
 	h2 := b.LN2.Infer(x1, ws)
-	h2 = b.FF1.Infer(h2, ws)
+	h2 = nn.Infer(b.FF1, h2, ws)
 	h2 = b.Act.Infer(h2, ws)
-	h2 = b.FF2.Infer(h2, ws)
+	h2 = nn.Infer(b.FF2, h2, ws)
 	return tensor.Add(h2, x1, h2), kv
 }
 
@@ -125,15 +154,39 @@ func (a *MultiHeadAttention) inferBatch(x *tensor.Matrix, offsets []int, past La
 		Tp = past.K.Rows
 	}
 	dh := a.DModel / a.NumHeads
-	q := nn.Infer(a.Wq, x, ws)
 	kvws := ws
 	if capture {
 		kvws = nil // captured K/V must outlive the workspace
 	}
-	k := nn.Infer(a.Wk, x, kvws)
-	v := nn.Infer(a.Wv, x, kvws)
+	var q, k, v *tensor.Matrix
+	wq, qok := a.Wq.(*nn.QuantizedLinear)
+	wk, kok := a.Wk.(*nn.QuantizedLinear)
+	wv, vok := a.Wv.(*nn.QuantizedLinear)
+	if qok && kok && vok && wq.W.Block == wk.W.Block && wq.W.Block == wv.W.Block {
+		// Int8 path: the three projections read the same input, so quantize
+		// it once and run all three from the shared codes.
+		qa := tensor.QuantizeRowsQ8(x, wq.W.Block, ws)
+		q = wq.InferQuantized(qa, ws)
+		k = wk.InferQuantized(qa, kvws)
+		v = wv.InferQuantized(qa, kvws)
+	} else {
+		q = nn.Infer(a.Wq, x, ws)
+		k = nn.Infer(a.Wk, x, kvws)
+		v = nn.Infer(a.Wv, x, kvws)
+	}
 	concat := ws.Get(x.Rows, a.DModel)
 	scale := float32(1 / math.Sqrt(float64(dh)))
+	// One max-shaped score buffer serves every sequence of the batch (the
+	// sequences run serially): without this, a 32-sequence chunk through a
+	// 6-layer model would pin ~200 distinct score buffers in the arena, and
+	// rebuilding that arena dominated the streaming monitor's allocations.
+	maxT := 0
+	for s := 0; s+1 < len(offsets); s++ {
+		if T := offsets[s+1] - offsets[s]; T > maxT {
+			maxT = T
+		}
+	}
+	scoresBuf := ws.Get(maxT, Tp+maxT)
 	for s := 0; s+1 < len(offsets); s++ {
 		lo, hi := offsets[s], offsets[s+1]
 		T := hi - lo
@@ -142,7 +195,7 @@ func (a *MultiHeadAttention) inferBatch(x *tensor.Matrix, offsets []int, past La
 		vs := ws.RowView(v, lo, hi)
 		cs := ws.RowView(concat, lo, hi)
 		// scores over [past | current] keys: [T, Tp+T], reused across heads.
-		scores := ws.Get(T, Tp+T)
+		scores := ws.ShapedView(scoresBuf, T, Tp+T)
 		for h := 0; h < a.NumHeads; h++ {
 			off := h * dh
 			if Tp > 0 {
@@ -209,6 +262,16 @@ func (m *Model) NextTokenLogitsBatchWithCache(cache *KVCache, suffixes [][]int) 
 // NextTokenLogitsBatchWithCacheWS is NextTokenLogitsBatchWithCache on a
 // caller-owned workspace. The returned logits are heap-allocated.
 func (m *Model) NextTokenLogitsBatchWithCacheWS(cache *KVCache, suffixes [][]int, ws *tensor.Workspace) *tensor.Matrix {
+	return m.nextTokenLogitsBatchCached(cache, suffixes, ws, nil)
+}
+
+// nextTokenLogitsBatchCached computes the batched cached-prefix logits with
+// the [B, VocabSize] output drawn from out (nil allocates — the public
+// contract; the choice-scoring path passes the scratch workspace instead,
+// since it reduces the logits to the few choice columns before returning and
+// a full vocabulary row per suffix is the batch's largest single garbage
+// producer otherwise).
+func (m *Model) nextTokenLogitsBatchCached(cache *KVCache, suffixes [][]int, ws, out *tensor.Workspace) *tensor.Matrix {
 	if len(suffixes) == 0 {
 		return tensor.New(0, m.Config.VocabSize)
 	}
@@ -224,15 +287,12 @@ func (m *Model) NextTokenLogitsBatchWithCacheWS(cache *KVCache, suffixes [][]int
 		offsets[i+1] = offsets[i] + len(ids)
 	}
 	h := m.embedBatch(suffixes, offsets, cache.Len, ws)
-	for li, b := range m.Blocks {
-		h, _ = b.inferBatch(h, offsets, cache.Layers[li], ws, false)
-	}
-	h = m.FinalLN.Infer(h, ws)
+	h = m.runBlocksBatch(h, offsets, cache.Layers, ws)
 	last := ws.Get(len(suffixes), m.Config.DModel)
 	for s := 0; s+1 < len(offsets); s++ {
 		copy(last.Row(s), h.Row(offsets[s+1]-1))
 	}
-	return m.LMHead.Infer(last, nil)
+	return nn.Infer(m.LMHead, last, out)
 }
 
 // ScoreChoiceBatchWithCache is ScoreChoiceWithCache over a batch of suffixes
@@ -244,9 +304,10 @@ func (m *Model) ScoreChoiceBatchWithCache(cache *KVCache, suffixes [][]int, choi
 }
 
 // ScoreChoiceBatchWithCacheWS is ScoreChoiceBatchWithCache on a caller-owned
-// workspace.
+// workspace. The full-vocabulary logits stay in the workspace arena — only
+// the per-choice probabilities are returned, freshly allocated.
 func (m *Model) ScoreChoiceBatchWithCacheWS(cache *KVCache, suffixes [][]int, choices []int, ws *tensor.Workspace) ([]int, [][]float32) {
-	logits := m.NextTokenLogitsBatchWithCacheWS(cache, suffixes, ws)
+	logits := m.nextTokenLogitsBatchCached(cache, suffixes, ws, ws)
 	return chooseFromLogits(logits, len(suffixes), choices)
 }
 
@@ -309,7 +370,7 @@ func (m *Model) NextTokenLogitsBatch(prompts [][]int) *tensor.Matrix {
 	for s := 0; s+1 < len(offsets); s++ {
 		copy(last.Row(s), h.Row(offsets[s+1]-1))
 	}
-	return m.LMHead.Infer(last, nil)
+	return nn.Infer(m.LMHead, last, nil)
 }
 
 // ScoreChoiceBatch is ScoreChoice over a batch of prompts: for each prompt it

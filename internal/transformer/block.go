@@ -14,12 +14,15 @@ import (
 // stably without a warmup-sensitive schedule at the small scales of this
 // reproduction; the paper's claims do not depend on norm placement.
 type Block struct {
-	LN1   *nn.LayerNorm
-	Attn  *MultiHeadAttention
-	LN2   *nn.LayerNorm
-	FF1   *nn.Linear
+	LN1  *nn.LayerNorm
+	Attn *MultiHeadAttention
+	LN2  *nn.LayerNorm
+	// FF1 and FF2 are nn.Layer (constructed as *nn.Linear) so the feed-forward
+	// projections can be swapped for inference-only nn.QuantizedLinear layers
+	// by Model.QuantizeInt8, mirroring the Wq/Wv slots LoRA already swaps.
+	FF1   nn.Layer
 	Act   *nn.GELU
-	FF2   *nn.Linear
+	FF2   nn.Layer
 	dropA *nn.Dropout
 	dropF *nn.Dropout
 }
@@ -43,13 +46,14 @@ func NewBlock(name string, dModel, numHeads, ffnDim int, causal bool, dropout fl
 // Block values reuse one set of weights, and their gradients accumulate into
 // the shared Param buffers.
 func (b *Block) SharedCopy(rng *tensor.RNG) *Block {
+	ff1, ff2 := b.FF1.(*nn.Linear), b.FF2.(*nn.Linear)
 	return &Block{
 		LN1:   &nn.LayerNorm{Gamma: b.LN1.Gamma, Beta: b.LN1.Beta, Eps: b.LN1.Eps},
 		Attn:  b.Attn.sharedCopy(),
 		LN2:   &nn.LayerNorm{Gamma: b.LN2.Gamma, Beta: b.LN2.Beta, Eps: b.LN2.Eps},
-		FF1:   &nn.Linear{Weight: b.FF1.Weight, Bias: b.FF1.Bias},
+		FF1:   &nn.Linear{Weight: ff1.Weight, Bias: ff1.Bias},
 		Act:   nn.NewGELU(),
-		FF2:   &nn.Linear{Weight: b.FF2.Weight, Bias: b.FF2.Bias},
+		FF2:   &nn.Linear{Weight: ff2.Weight, Bias: ff2.Bias},
 		dropA: nn.NewDropout(b.dropA.P, rng.Split()),
 		dropF: nn.NewDropout(b.dropF.P, rng.Split()),
 	}

@@ -1,6 +1,7 @@
 package transformer
 
 import (
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -59,7 +60,7 @@ func (m *Model) nextTokenLogitsWithCache(cache *KVCache, suffix []int, ws *tenso
 	// Only the final position feeds the next-token logits; run the LN and LM
 	// head on that single row.
 	last := ws.RowView(h, h.Rows-1, h.Rows)
-	logits := m.LMHead.Infer(m.FinalLN.Infer(last, ws), ws)
+	logits := nn.Infer(m.LMHead, m.FinalLN.Infer(last, ws), ws)
 	out := make([]float32, logits.Cols)
 	copy(out, logits.Row(0))
 	return out

@@ -45,7 +45,12 @@ type Model struct {
 	PosEmb  *nn.Embedding
 	Blocks  []*Block
 	FinalLN *nn.LayerNorm
-	LMHead  *nn.Linear
+	// LMHead is nn.Layer (constructed as *nn.Linear) so Model.QuantizeInt8
+	// can swap it for an int8 inference layer — the LM head is the largest
+	// single matmul of the decode path. ClsHead stays a concrete *nn.Linear:
+	// it is a [DModel, NumClasses] sliver whose quantization would save
+	// nothing, and head-only training reaches into it directly.
+	LMHead  nn.Layer
 	ClsHead *nn.Linear
 
 	// cached state for backward
@@ -235,19 +240,20 @@ func (m *Model) FreezeBackbone() {
 func (m *Model) Unfreeze() { nn.FreezeAll(m.Params(), false) }
 
 // linears returns every Linear in the model, including those inside
-// attention layers (for quantization sweeps). LoRA-wrapped projections are
-// skipped — their bases are already frozen.
+// attention layers (for quantization sweeps). LoRA-wrapped and int8-quantized
+// projections are skipped — their bases are already frozen.
 func (m *Model) linears() []*nn.Linear {
 	var out []*nn.Linear
 	for _, b := range m.Blocks {
-		for _, l := range []interface{}{b.Attn.Wq, b.Attn.Wk, b.Attn.Wv, b.Attn.Wo} {
+		for _, l := range []nn.Layer{b.Attn.Wq, b.Attn.Wk, b.Attn.Wv, b.Attn.Wo, b.FF1, b.FF2} {
 			if lin, ok := l.(*nn.Linear); ok {
 				out = append(out, lin)
 			}
 		}
-		out = append(out, b.FF1, b.FF2)
 	}
-	out = append(out, m.LMHead)
+	if lin, ok := m.LMHead.(*nn.Linear); ok {
+		out = append(out, lin)
+	}
 	return out
 }
 

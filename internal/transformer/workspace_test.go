@@ -107,6 +107,57 @@ func TestEncodeBatchAllocations(t *testing.T) {
 	}
 }
 
+// TestScoreChoiceBatchCachedAllocations pins the steady-state allocation
+// count of the batched cached-prefix scoring path (the ICL serving inner
+// loop): with the vocabulary logits arena-backed, only the returned best/
+// probability slices allocate — per batch, not per vocabulary row.
+func TestScoreChoiceBatchCachedAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := New(smallConfig(true), tensor.NewRNG(94))
+	cache := m.InferKVCache([]int{1, 2, 3, 4, 5, 6})
+	suffixes := [][]int{{7, 8}, {9}, {4, 5, 6}}
+	choices := []int{1, 2}
+	ws := tensor.NewWorkspace()
+	ws.Reset()
+	m.ScoreChoiceBatchWithCacheWS(cache, suffixes, choices, ws) // warm arenas
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Reset()
+		m.ScoreChoiceBatchWithCacheWS(cache, suffixes, choices, ws)
+	})
+	// Budget: the best-index slice, the probability slice-of-slices, and one
+	// choice-probability slice per suffix (3 here) — 5 measured — plus
+	// headroom for pool noise on the double-buffered block scratch. The
+	// pre-arena implementation allocated a [B, VocabSize] logits matrix and
+	// hundreds of forward-pass temporaries per call.
+	if allocs > 8 {
+		t.Fatalf("cached batch scoring allocates %v times per op, want ≤ 8", allocs)
+	}
+}
+
+// TestQuantizedBatchForwardAllocations pins that the int8 inference path
+// stays as allocation-lean as fp32: the quantized projections draw their
+// activation-code buffers from the same arena discipline.
+func TestQuantizedBatchForwardAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := New(smallConfig(false), tensor.NewRNG(95))
+	m.QuantizeInt8(0)
+	seqs := [][]int{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
+	ws := tensor.NewWorkspace()
+	ws.Reset()
+	m.ForwardClsBatchWS(seqs, ws) // warm the arena for this batch shape
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Reset()
+		m.ForwardClsBatchWS(seqs, ws)
+	})
+	if allocs > 4 {
+		t.Fatalf("quantized ForwardClsBatchWS allocates %v times per op, want ≤ 4", allocs)
+	}
+}
+
 // TestWorkspaceForwardIsConcurrencySafe exercises the workspace-threaded
 // batch paths from many goroutines — each with its own arena, all sharing
 // one model and one KV cache — under -race.

@@ -1,6 +1,9 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into the
 # BENCH_N.json record the repo keeps per perf PR (ns/op, B/op, allocs/op per
-# benchmark). Usage:
+# benchmark, plus any custom b.ReportMetric values as an "extra" object).
+# Fields are located by their unit suffix rather than position, so custom
+# metrics (which Go prints between ns/op and B/op) cannot shift the parse.
+# Usage:
 #   go test -run '^$' -bench ... -benchmem . | awk -v date=... -f scripts/benchjson.awk
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -8,9 +11,17 @@ BEGIN { n = 0 }
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	names[n] = name
-	ns[n] = $3
-	bytes[n] = ($5 != "" ? $5 : 0)
-	allocs[n] = ($7 != "" ? $7 : 0)
+	ns[n] = 0; bytes[n] = 0; allocs[n] = 0; extra[n] = ""
+	for (i = 3; i < NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op") ns[n] = v
+		else if (u == "B/op") bytes[n] = v
+		else if (u == "allocs/op") allocs[n] = v
+		else {
+			gsub(/[^A-Za-z0-9_]/, "_", u)
+			extra[n] = extra[n] (extra[n] == "" ? "" : ", ") "\"" u "\": " v
+		}
+	}
 	n++
 }
 END {
@@ -20,8 +31,11 @@ END {
 	printf "  \"command\": \"make bench\",\n"
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) {
-		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-			names[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s", \
+			names[i], ns[i], bytes[i], allocs[i]
+		if (extra[i] != "")
+			printf ", \"extra\": {%s}", extra[i]
+		printf "}%s\n", (i < n-1 ? "," : "")
 	}
 	printf "  ]\n}\n"
 }
