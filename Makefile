@@ -16,7 +16,13 @@ GO ?= go
 BENCH_PATTERN := MatMul128|MatMulBlockedTall|MatMulQ8Tall|AttentionForward|DecoderNextToken|KVCacheDecode|KVCacheDecodeInt8|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|SFTServeBatch8|SFTServeBatch8Int8|ICLServeBatch8|ICLServeBatch8Int8|QuantizeInt8|ServerCoalesced|Monitor|MonitorSequential|MonitorServe|MonitorServeInt8|StartupTrain|StartupLoad|RegistrySwap
 BENCH_OUT := BENCH_5.json
 
-.PHONY: check fmt vet build test bench bench-all
+# The scenario suite `make bench-scenarios` records to BENCH_6.json: every
+# traffic scenario (docs/SCENARIOS.md) replayed over HTTP against an
+# in-process anomalyd, with the PCA/isolation-forest seed baselines scored on
+# the same streams. loadlab-smoke is the seconds-scale CI subset.
+SCENARIO_OUT := BENCH_6.json
+
+.PHONY: check fmt vet build test bench bench-all bench-scenarios loadlab-smoke
 
 check: fmt vet build test
 
@@ -48,3 +54,20 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# bench-scenarios trains the reference detector in-process, replays all six
+# scenarios (detect-batch path, plus the monitor path for steady), scores the
+# seed baselines on the identical streams, and records $(SCENARIO_OUT).
+bench-scenarios:
+	$(GO) run ./cmd/loadlab -out $(SCENARIO_OUT)
+	@echo "recorded $(SCENARIO_OUT)"
+
+# loadlab-smoke is the CI gate: a tiny detector, two scenarios, high speed —
+# seconds, not minutes. The config matches the recorded loadlab-smoke-baseline.json
+# baseline, so `scripts/benchdiff loadlab-smoke-baseline.json loadlab-smoke.json`
+# diffs like for like (the deterministic columns — events, dedup_saved,
+# baseline quality — should not move at all).
+loadlab-smoke:
+	$(GO) run ./cmd/loadlab -events 200 -speed 200 -train 150 -pretrain 60 -epochs 1 \
+		-workflow predict-future-sales -seed 6 -scenarios steady,near-dup \
+		-out loadlab-smoke.json

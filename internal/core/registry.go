@@ -25,6 +25,7 @@ type servedModel struct {
 	cfg     BatchConfig
 	eng     *engine
 	tracker *TraceTracker
+	stats   *statsRecorder
 }
 
 // Registry holds named detectors, each served by its own coalescing queue and
@@ -66,11 +67,13 @@ func (r *Registry) Add(name string, det Detector, cfg BatchConfig) error {
 	if _, dup := r.models[name]; dup {
 		return fmt.Errorf("core: model %q already registered", name)
 	}
+	stats := &statsRecorder{}
 	r.models[name] = &servedModel{
 		name:    name,
 		cfg:     cfg,
-		eng:     newEngine(det, cfg),
+		eng:     newEngine(det, cfg, stats),
 		tracker: NewTraceTracker(cfg.Policy, cfg.MaxTraces),
+		stats:   stats,
 	}
 	if r.def == "" {
 		r.def = name
@@ -101,7 +104,7 @@ func (r *Registry) Swap(name string, det Detector) error {
 		return fmt.Errorf("%w %q", ErrUnknownModel, name)
 	}
 	old := m.eng
-	m.eng = newEngine(det, m.cfg)
+	m.eng = newEngine(det, m.cfg, m.stats)
 	r.mu.Unlock()
 	old.Close() // outside the lock: draining must not block other routes
 	return nil
@@ -201,6 +204,10 @@ type ModelInfo struct {
 	Workers      int       `json:"workers"`
 	MaxRequest   int       `json:"max_request"`
 	ActiveTraces int       `json:"active_traces"`
+	// Stats is the slot's serving-counter snapshot: queue depth and
+	// saturation, coalescing effectiveness, and the queue-wait/compute stage
+	// latency percentiles the load lab records per scenario.
+	Stats EngineStats `json:"stats"`
 }
 
 // Info returns a snapshot of every registered model, sorted by name.
@@ -217,11 +224,38 @@ func (r *Registry) Info() []ModelInfo {
 			Workers:      m.cfg.Workers,
 			MaxRequest:   m.cfg.MaxRequest,
 			ActiveTraces: m.tracker.Len(),
+			Stats:        m.stats.snapshot(len(m.eng.jobs)),
 		})
 	}
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
 	return out
+}
+
+// Stats returns the serving-counter snapshot for name ("" = default model).
+func (r *Registry) Stats(name string) (EngineStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, err := r.lookupLocked(name)
+	if err != nil {
+		return EngineStats{}, err
+	}
+	return m.stats.snapshot(len(m.eng.jobs)), nil
+}
+
+// ResetStats zeroes the serving counters and latency windows for name
+// ("" = default model) — how the load lab isolates one scenario's stats from
+// the previous scenario's on a long-lived server. The trace tracker is not
+// touched.
+func (r *Registry) ResetStats(name string) error {
+	r.mu.RLock()
+	m, err := r.lookupLocked(name)
+	r.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	m.stats.reset()
+	return nil
 }
 
 // Close drains and stops every model's engine and fails subsequent lookups

@@ -195,6 +195,7 @@ func NewServerRegistry(reg *Registry) *Server {
 	s.mux.HandleFunc("/v1/detect/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/monitor", s.handleMonitor)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/stats/reset", s.handleStatsReset)
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
@@ -391,6 +392,22 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, ModelsResponse{Models: s.reg.Info()})
+}
+
+// handleStatsReset is POST /v1/stats/reset[?model=]: zero the model's
+// serving counters and latency windows. The load lab calls this between
+// scenarios so each replay's /v1/models snapshot reflects only its own
+// traffic; the trace tracker is left alone.
+func (s *Server) handleStatsReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.reg.ResetStats(modelParam(r)); err != nil {
+		writeDetectError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // modelParam extracts the ?model= routing parameter ("" = default model).

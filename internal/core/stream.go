@@ -36,6 +36,14 @@ func (p TracePolicy) flagged(v TraceVerdict) bool {
 	return v.Anomalous >= p.MinAnomalous || (v.Jobs > 0 && v.Fraction() >= p.MinFraction)
 }
 
+// Flagged reports whether a trace with the given job and abnormal counts
+// trips the policy — the exported form of the monitor's per-trace decision,
+// used by the scenario lab to turn per-line ground truth (or per-line
+// predictions) into trace verdicts it can score against the server's.
+func (p TracePolicy) Flagged(jobs, anomalous int) bool {
+	return p.flagged(TraceVerdict{Jobs: jobs, Anomalous: anomalous})
+}
+
 // TraceVerdict aggregates per-job detections for one execution.
 type TraceVerdict struct {
 	TraceID   int  `json:"trace"`

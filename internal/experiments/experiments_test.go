@@ -9,13 +9,9 @@ import (
 )
 
 // tiny returns a scale small enough for unit tests.
-func tiny() Scale {
-	return Scale{
-		Train: 120, Val: 40, Test: 60,
-		PretrainSteps: 40, Epochs: 1, ICLFTSteps: 30, ICLEval: 20,
-		Runs: 1, Fig6Epochs: 2, Fig12Shots: []int{0, 2}, Seed: 5,
-	}
-}
+// tiny is the exported Tiny scale — the same recipe cmd/expbench -scale tiny
+// runs, so these tests exercise exactly what CI smoke runs exercise.
+func tiny() Scale { return Tiny() }
 
 func TestRegistryCoversAllArtifacts(t *testing.T) {
 	defs := All()

@@ -46,6 +46,17 @@ type Scale struct {
 	Seed uint64
 }
 
+// Tiny is the smallest runnable scale — seconds per experiment — for smoke
+// tests and CI, where the goal is exercising every code path rather than
+// reproducing the paper's numbers.
+func Tiny() Scale {
+	return Scale{
+		Train: 120, Val: 40, Test: 60,
+		PretrainSteps: 40, Epochs: 1, ICLFTSteps: 30, ICLEval: 20,
+		Runs: 1, Fig6Epochs: 2, Fig12Shots: []int{0, 2}, Seed: 5,
+	}
+}
+
 // Quick is a small scale for tests and benchmarks (tens of seconds per
 // experiment).
 func Quick() Scale {

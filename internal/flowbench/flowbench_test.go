@@ -315,3 +315,29 @@ func TestAllocateAnomaliesExactProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDatasetJobsRecoversCompleteTraces(t *testing.T) {
+	ds := Generate(Genome, 21)
+	all := ds.Jobs()
+	if len(all) != len(ds.Train)+len(ds.Val)+len(ds.Test) {
+		t.Fatalf("Jobs() returned %d jobs, want %d", len(all), len(ds.Train)+len(ds.Val)+len(ds.Test))
+	}
+	// The splits shuffle jobs across traces; regrouping the full dataset must
+	// recover every execution intact: NumTraces traces, each with exactly one
+	// job per DAG node in node order.
+	byTrace := TraceJobs(all)
+	if len(byTrace) != ds.NumTraces() {
+		t.Fatalf("regrouped %d traces, want %d", len(byTrace), ds.NumTraces())
+	}
+	n := ds.DAG.NumNodes()
+	for id, trace := range byTrace {
+		if len(trace) != n {
+			t.Fatalf("trace %d has %d jobs, want %d", id, len(trace), n)
+		}
+		for i, j := range trace {
+			if j.NodeIndex != i {
+				t.Fatalf("trace %d job %d has node index %d", id, i, j.NodeIndex)
+			}
+		}
+	}
+}

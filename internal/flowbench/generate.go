@@ -40,6 +40,18 @@ func (ds *Dataset) Split(name string) []Job {
 	panic(fmt.Sprintf("flowbench: unknown split %q", name))
 }
 
+// Jobs returns every job in the dataset as one slice in train, validation,
+// test order — the raw material for trace-level consumers (the scenario lab
+// regroups it with TraceJobs to recover complete executions, since the
+// splits shuffle jobs across traces).
+func (ds *Dataset) Jobs() []Job {
+	out := make([]Job, 0, len(ds.Train)+len(ds.Val)+len(ds.Test))
+	out = append(out, ds.Train...)
+	out = append(out, ds.Val...)
+	out = append(out, ds.Test...)
+	return out
+}
+
 // NumTraces returns the number of workflow executions in the full dataset.
 func (ds *Dataset) NumTraces() int {
 	n := ds.DAG.NumNodes()

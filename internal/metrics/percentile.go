@@ -1,0 +1,33 @@
+package metrics
+
+import "sort"
+
+// Percentile returns the q-quantile (q in [0,1]) of samples using linear
+// interpolation between order statistics — the estimator used for the load
+// lab's p50/p99 latency summaries. The input is not modified. An empty
+// sample set yields 0; q is clamped to [0,1].
+func Percentile(samples []float64, q float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := make([]float64, n)
+	copy(s, samples)
+	sort.Float64s(s)
+	if n == 1 {
+		return s[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("singleton percentile = %v, want 7", got)
+	}
+	s := []float64{4, 1, 3, 2} // unsorted on purpose
+	if got := Percentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(s, 1); got != 4 {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+	if got := Percentile(s, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 2.5", got)
+	}
+	// Input must not be reordered.
+	if s[0] != 4 || s[3] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolatesAndClamps(t *testing.T) {
+	s := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := Percentile(s, 0.99); math.Abs(got-99) > 1e-9 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := Percentile(s, -1); got != 0 {
+		t.Fatalf("q<0 = %v, want 0", got)
+	}
+	if got := Percentile(s, 2); got != 100 {
+		t.Fatalf("q>1 = %v, want 100", got)
+	}
+}

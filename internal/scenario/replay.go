@@ -1,0 +1,413 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logparse"
+	"repro/internal/metrics"
+)
+
+// ReplayConfig tunes how a stream is driven against a server.
+type ReplayConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080" or an
+	// httptest.Server URL for an in-process anomalyd.
+	BaseURL string
+	// Model is the ?model= routing parameter ("" = default model).
+	Model string
+	// Speed compresses the schedule: 10 replays a 10-second schedule in one
+	// second. Default 1.
+	Speed float64
+	// Timeout bounds each /v1/detect/batch request (default 30s). The
+	// monitor replay streams for the whole schedule and ignores it.
+	Timeout time.Duration
+	// MaxBatch caps lines per request when a burst shares one arrival
+	// instant (default 256).
+	MaxBatch int
+	// Policy is the trace-verdict policy quality is scored under (zero
+	// value = DefaultTracePolicy).
+	Policy core.TracePolicy
+	// Client overrides the HTTP client (Timeout is applied per request via
+	// context, so a shared client is fine).
+	Client *http.Client
+}
+
+func (c *ReplayConfig) fill() {
+	if c.Speed <= 0 {
+		c.Speed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Policy == (core.TracePolicy{}) {
+		c.Policy = core.DefaultTracePolicy()
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+}
+
+// Quality bundles the detection-quality metrics of one replay, scored
+// against the stream's ground truth: ranking quality over raw scores
+// (ROC-AUC, average precision), per-line F1 over hard predictions, and
+// trace-verdict F1 — predicted trace flags (policy over predicted labels)
+// against ground-truth trace flags (policy over true labels).
+type Quality struct {
+	AUC            float64 `json:"roc_auc"`
+	AP             float64 `json:"avg_precision"`
+	LineF1         float64 `json:"line_f1"`
+	TraceF1        float64 `json:"trace_f1"`
+	TracePrecision float64 `json:"trace_precision"`
+	TraceRecall    float64 `json:"trace_recall"`
+}
+
+// Result is one scenario replay's measurements.
+type Result struct {
+	Scenario    string
+	Events      int
+	Requests    int
+	Errors      int // failed requests (their events are excluded from quality)
+	WallSeconds float64
+	LinesPerSec float64
+	// Client-side round-trip latency percentiles per request.
+	ClientP50Ms float64
+	ClientP99Ms float64
+	// Server is the model's serving-stats snapshot after the replay (stats
+	// are reset before it starts): queue saturation and stage latencies.
+	Server  core.EngineStats
+	Quality Quality
+}
+
+// sample is one scored event for quality evaluation.
+type sample struct {
+	label, pred, trace int
+	score              float64
+}
+
+// Replay drives the stream's schedule against POST /v1/detect/batch,
+// open-loop: each request fires at its scheduled instant whether or not
+// earlier requests have returned, so server-side queueing shows up in the
+// measured latencies rather than being hidden by client pacing. Events
+// sharing an arrival instant (bursts) are sent as one batch request.
+//
+// Server stats are reset at start (POST /v1/stats/reset) and snapshotted at
+// the end (GET /v1/models), so Result.Server reflects only this replay.
+func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
+	cfg.fill()
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("scenario: replaying empty stream %q", s.Name)
+	}
+	resetServerStats(ctx, cfg)
+
+	type request struct {
+		at    time.Duration
+		first int // index of first event
+		n     int
+	}
+	var reqs []request
+	for i := 0; i < len(s.Events); {
+		j := i + 1
+		for j < len(s.Events) && s.Events[j].At == s.Events[i].At && j-i < cfg.MaxBatch {
+			j++
+		}
+		reqs = append(reqs, request{at: s.Events[i].At, first: i, n: j - i})
+		i = j
+	}
+
+	scores := make([]float64, len(s.Events))
+	preds := make([]int, len(s.Events))
+	okEv := make([]bool, len(s.Events))
+	latencies := make([]float64, len(reqs))
+	reqOK := make([]bool, len(reqs))
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for ri, rq := range reqs {
+		due := start.Add(time.Duration(float64(rq.at) / cfg.Speed))
+		if wait := time.Until(due); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				wg.Wait()
+				return nil, ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(ri int, rq request) {
+			defer wg.Done()
+			sentences := make([]string, rq.n)
+			for k := 0; k < rq.n; k++ {
+				sentences[k] = logparse.Sentence(s.Events[rq.first+k].Job)
+			}
+			t0 := time.Now()
+			results, err := postBatch(ctx, cfg, sentences)
+			latencies[ri] = float64(time.Since(t0)) / float64(time.Millisecond)
+			if err != nil || len(results) != rq.n {
+				return
+			}
+			reqOK[ri] = true
+			for k, res := range results {
+				scores[rq.first+k] = res.Score
+				preds[rq.first+k] = res.Label
+				okEv[rq.first+k] = true
+			}
+		}(ri, rq)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &Result{
+		Scenario:    s.Name,
+		Events:      len(s.Events),
+		Requests:    len(reqs),
+		WallSeconds: wall.Seconds(),
+		ClientP50Ms: metrics.Percentile(latencies, 0.50),
+		ClientP99Ms: metrics.Percentile(latencies, 0.99),
+	}
+	if wall > 0 {
+		res.LinesPerSec = float64(len(s.Events)) / wall.Seconds()
+	}
+	var samples []sample
+	for i, ev := range s.Events {
+		if okEv[i] {
+			samples = append(samples, sample{label: ev.Job.Label, pred: preds[i], trace: ev.Job.TraceID, score: scores[i]})
+		}
+	}
+	for _, ok := range reqOK {
+		if !ok {
+			res.Errors++
+		}
+	}
+	res.Quality = qualityOf(samples, cfg.Policy)
+	if st, err := fetchServerStats(ctx, cfg); err == nil {
+		res.Server = st
+	}
+	return res, nil
+}
+
+// MonitorResult is one scenario replay through the streaming monitor
+// endpoint: ingest throughput plus the server's run report.
+type MonitorResult struct {
+	Scenario    string
+	Events      int
+	WallSeconds float64
+	LinesPerSec float64
+	Report      core.MonitorReport
+}
+
+// ReplayMonitor streams the stream's raw log lines to POST /v1/monitor on
+// schedule through a chunked request body — the tail-a-log-file serving path
+// — and returns the monitor report. Open-loop like Replay: lines are written
+// at their scheduled instants.
+func ReplayMonitor(ctx context.Context, s *Stream, cfg ReplayConfig) (*MonitorResult, error) {
+	cfg.fill()
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("scenario: replaying empty stream %q", s.Name)
+	}
+	pr, pw := io.Pipe()
+	start := time.Now()
+	go func() {
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+		if !timer.Stop() {
+			<-timer.C
+		}
+		for _, ev := range s.Events {
+			due := start.Add(time.Duration(float64(ev.At) / cfg.Speed))
+			if wait := time.Until(due); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					pw.CloseWithError(ctx.Err())
+					return
+				}
+			}
+			if _, err := io.WriteString(pw, ev.Line+"\n"); err != nil {
+				return // server went away; the POST below reports it
+			}
+		}
+		pw.Close()
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/monitor"+modelQuery(cfg.Model), pr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("scenario: monitor replay status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var mr core.MonitorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	out := &MonitorResult{
+		Scenario:    s.Name,
+		Events:      len(s.Events),
+		WallSeconds: wall.Seconds(),
+		Report:      mr.MonitorReport,
+	}
+	if wall > 0 {
+		out.LinesPerSec = float64(len(s.Events)) / wall.Seconds()
+	}
+	return out, nil
+}
+
+// EvaluateScores computes Quality for per-event anomaly scores produced
+// outside the server — how the seed baselines enter the loadlab report.
+// preds are hard 0/1 predictions (typically scores thresholded at a rate
+// calibrated on training data).
+func EvaluateScores(s *Stream, scores []float64, preds []int, policy core.TracePolicy) Quality {
+	if len(scores) != len(s.Events) || len(preds) != len(s.Events) {
+		panic("scenario: scores/preds length mismatch with stream")
+	}
+	if policy == (core.TracePolicy{}) {
+		policy = core.DefaultTracePolicy()
+	}
+	samples := make([]sample, len(s.Events))
+	for i, ev := range s.Events {
+		samples[i] = sample{label: ev.Job.Label, pred: preds[i], trace: ev.Job.TraceID, score: scores[i]}
+	}
+	return qualityOf(samples, policy)
+}
+
+func qualityOf(samples []sample, policy core.TracePolicy) Quality {
+	if len(samples) == 0 {
+		return Quality{}
+	}
+	labels := make([]int, len(samples))
+	preds := make([]int, len(samples))
+	scores := make([]float64, len(samples))
+	jobs := make(map[int]int)
+	trueAnom := make(map[int]int)
+	predAnom := make(map[int]int)
+	for i, sm := range samples {
+		labels[i], preds[i], scores[i] = sm.label, sm.pred, sm.score
+		jobs[sm.trace]++
+		trueAnom[sm.trace] += sm.label
+		predAnom[sm.trace] += sm.pred
+	}
+	ids := make([]int, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	traceTruth := make([]int, len(ids))
+	tracePred := make([]int, len(ids))
+	for i, id := range ids {
+		if policy.Flagged(jobs[id], trueAnom[id]) {
+			traceTruth[i] = 1
+		}
+		if policy.Flagged(jobs[id], predAnom[id]) {
+			tracePred[i] = 1
+		}
+	}
+	lineConf := metrics.NewConfusion(labels, preds)
+	traceConf := metrics.NewConfusion(traceTruth, tracePred)
+	return Quality{
+		AUC:            metrics.ROCAUC(labels, scores),
+		AP:             metrics.AveragePrecision(labels, scores),
+		LineF1:         lineConf.F1(),
+		TraceF1:        traceConf.F1(),
+		TracePrecision: traceConf.Precision(),
+		TraceRecall:    traceConf.Recall(),
+	}
+}
+
+func modelQuery(model string) string {
+	if model == "" {
+		return ""
+	}
+	return "?model=" + model
+}
+
+// postBatch sends one /v1/detect/batch request and decodes its results.
+func postBatch(ctx context.Context, cfg ReplayConfig, sentences []string) ([]core.DetectResponse, error) {
+	body, err := json.Marshal(core.BatchRequest{Sentences: sentences})
+	if err != nil {
+		return nil, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, cfg.BaseURL+"/v1/detect/batch"+modelQuery(cfg.Model), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("scenario: batch status %d", resp.StatusCode)
+	}
+	var br core.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	return br.Results, nil
+}
+
+// resetServerStats zeroes the target model's serving counters so the final
+// snapshot covers only this replay. Best-effort: a server without the
+// endpoint just yields cumulative stats.
+func resetServerStats(ctx context.Context, cfg ReplayConfig) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/stats/reset"+modelQuery(cfg.Model), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := cfg.Client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// fetchServerStats reads the replayed model's stats from GET /v1/models.
+func fetchServerStats(ctx context.Context, cfg ReplayConfig) (core.EngineStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return core.EngineStats{}, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return core.EngineStats{}, err
+	}
+	defer resp.Body.Close()
+	var mr core.ModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return core.EngineStats{}, err
+	}
+	for _, m := range mr.Models {
+		if m.Name == cfg.Model || (cfg.Model == "" && m.Default) {
+			return m.Stats, nil
+		}
+	}
+	return core.EngineStats{}, fmt.Errorf("scenario: model %q not in /v1/models", cfg.Model)
+}

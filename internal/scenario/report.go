@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BenchEntry is one row of a BENCH_N.json report — the shape
+// scripts/benchjson.awk produces from `go test -bench` output, which
+// scripts/benchdiff consumes. The load lab emits one entry per
+// scenario × detector, with ns_per_op carrying nanoseconds per line (so
+// throughput deltas diff like kernel benchmarks) and the quality and
+// saturation measurements under "extra".
+type BenchEntry struct {
+	Name        string
+	NsPerOp     float64
+	BPerOp      int64
+	AllocsPerOp int64
+	Extra       map[string]float64
+}
+
+// BenchReport is a BENCH_N.json document.
+type BenchReport struct {
+	Recorded string // RFC3339 UTC timestamp
+	CPU      string
+	Command  string
+	Entries  []BenchEntry
+}
+
+// Write renders the report in the exact layout of the repo's recorded
+// BENCH files: one benchmark per line, extra keys sorted.
+func (r *BenchReport) Write(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	fmt.Fprintf(&sb, "  %q: %q,\n", "recorded", r.Recorded)
+	fmt.Fprintf(&sb, "  %q: %q,\n", "cpu", r.CPU)
+	fmt.Fprintf(&sb, "  %q: %q,\n", "command", r.Command)
+	sb.WriteString("  \"benchmarks\": [\n")
+	for i, e := range r.Entries {
+		fmt.Fprintf(&sb, "    {\"name\": %q, \"ns_per_op\": %.0f, \"b_per_op\": %d, \"allocs_per_op\": %d",
+			e.Name, e.NsPerOp, e.BPerOp, e.AllocsPerOp)
+		if len(e.Extra) > 0 {
+			keys := make([]string, 0, len(e.Extra))
+			for k := range e.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			sb.WriteString(", \"extra\": {")
+			for j, k := range keys {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%q: %s", k, formatExtra(e.Extra[k]))
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString("}")
+		if i < len(r.Entries)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("  ]\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// formatExtra renders a value compactly: integers without decimals, metrics
+// with four.
+func formatExtra(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Entry converts a batch-replay result into its report row.
+func (r *Result) Entry(detector string) BenchEntry {
+	nsPerLine := 0.0
+	if r.Events > 0 {
+		nsPerLine = r.WallSeconds * 1e9 / float64(r.Events)
+	}
+	return BenchEntry{
+		Name:    fmt.Sprintf("LoadLab/%s/%s", r.Scenario, detector),
+		NsPerOp: nsPerLine,
+		Extra: map[string]float64{
+			"events":            float64(r.Events),
+			"requests":          float64(r.Requests),
+			"errors":            float64(r.Errors),
+			"lines_per_sec":     r.LinesPerSec,
+			"client_p50_ms":     r.ClientP50Ms,
+			"client_p99_ms":     r.ClientP99Ms,
+			"queue_wait_p50_ms": r.Server.QueueWaitP50Ms,
+			"queue_wait_p99_ms": r.Server.QueueWaitP99Ms,
+			"compute_p50_ms":    r.Server.ComputeP50Ms,
+			"compute_p99_ms":    r.Server.ComputeP99Ms,
+			"max_queue_len":     float64(r.Server.MaxQueueLen),
+			"dedup_saved":       float64(r.Server.DedupSaved),
+			"batch_occupancy":   r.Server.BatchOccupancy,
+			"roc_auc":           r.Quality.AUC,
+			"avg_precision":     r.Quality.AP,
+			"line_f1":           r.Quality.LineF1,
+			"trace_f1":          r.Quality.TraceF1,
+		},
+	}
+}
+
+// Entry converts a monitor-replay result into its report row.
+func (m *MonitorResult) Entry(detector string) BenchEntry {
+	nsPerLine := 0.0
+	if m.Events > 0 {
+		nsPerLine = m.WallSeconds * 1e9 / float64(m.Events)
+	}
+	return BenchEntry{
+		Name:    fmt.Sprintf("LoadLabMonitor/%s/%s", m.Scenario, detector),
+		NsPerOp: nsPerLine,
+		Extra: map[string]float64{
+			"events":         float64(m.Events),
+			"lines_per_sec":  m.LinesPerSec,
+			"alerts":         float64(m.Report.Alerts),
+			"flagged_traces": float64(m.Report.FlaggedTraces),
+			"malformed":      float64(m.Report.Malformed),
+		},
+	}
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"repro/internal/flowbench"
+)
+
+// genSteady is the baseline: eight interleaved executions, one line per
+// jittered inter-arrival gap. Every other scenario is a controlled deviation
+// from this shape.
+func genSteady(g *gen) {
+	const k = 8
+	sl := g.newSlots(k)
+	for !g.full() {
+		g.tick()
+		g.emit(sl.take(g.rng.Intn(k)))
+	}
+}
+
+// genBursty produces open-loop burst arrivals: a quiet gap worth ~24 nominal
+// intervals, then 8–64 lines at the same instant. The replayer sends each
+// burst as one request batch, so the server's queue depth (and the
+// coalescer) sees the spike instead of client-side pacing hiding it.
+func genBursty(g *gen) {
+	const k = 8
+	sl := g.newSlots(k)
+	for !g.full() {
+		g.pause(24)
+		for b := 8 + g.rng.Intn(57); b > 0 && !g.full(); b-- {
+			g.emit(sl.take(g.rng.Intn(k)))
+		}
+	}
+}
+
+// genTraceHeavy runs only two concurrent executions, each emitting long
+// contiguous runs (8–16 lines): few, deep traces — the online tracker holds
+// a small working set that accumulates many jobs per verdict.
+func genTraceHeavy(g *gen) {
+	const k = 2
+	sl := g.newSlots(k)
+	for !g.full() {
+		s := g.rng.Intn(k)
+		for run := 8 + g.rng.Intn(9); run > 0 && !g.full(); run-- {
+			g.tick()
+			g.emit(sl.take(s))
+		}
+	}
+}
+
+// genLineHeavy touches many executions shallowly: each execution contributes
+// only its first 2–5 lines before the stream moves on — maximal distinct
+// trace IDs per line, which churns the tracker's LRU window.
+func genLineHeavy(g *gen) {
+	for !g.full() {
+		trace := g.takeTrace()
+		m := 2 + g.rng.Intn(4)
+		for i := 0; i < m && i < len(trace) && !g.full(); i++ {
+			g.tick()
+			g.emit(trace[i])
+		}
+	}
+}
+
+// genDrift injects distribution drift mid-stream. The first half draws only
+// from anomaly-free executions; the second half switches to anomalous
+// executions *and* applies a covariate drift ramp (features scaled by up to
+// 1.4×) to every line, labels untouched. Both the anomaly prior and the
+// feature distribution move, so a detector trained on the stationary
+// distribution degrades measurably in the second half — the calibration
+// signal for drift-aware serving.
+func genDrift(g *gen) {
+	var clean, dirty [][]flowbench.Job
+	for _, trace := range g.pool {
+		anomalous := false
+		for _, j := range trace {
+			if j.Label == 1 {
+				anomalous = true
+				break
+			}
+		}
+		if anomalous {
+			dirty = append(dirty, trace)
+		} else {
+			clean = append(clean, trace)
+		}
+	}
+	const k = 8
+	half := g.cfg.Events / 2
+	takeFrom := func(pool [][]flowbench.Job, next *int, cur [][]flowbench.Job, i int) ([][]flowbench.Job, flowbench.Job) {
+		if len(cur[i]) == 0 {
+			cur[i] = pool[*next%len(pool)]
+			*next++
+		}
+		j := cur[i][0]
+		cur[i] = cur[i][1:]
+		return cur, j
+	}
+	var j flowbench.Job
+	cleanNext, dirtyNext := 0, 0
+	cleanCur := make([][]flowbench.Job, k)
+	dirtyCur := make([][]flowbench.Job, k)
+	for len(g.events) < half {
+		g.tick()
+		cleanCur, j = takeFrom(clean, &cleanNext, cleanCur, g.rng.Intn(k))
+		g.emit(j)
+	}
+	for !g.full() {
+		g.tick()
+		dirtyCur, j = takeFrom(dirty, &dirtyNext, dirtyCur, g.rng.Intn(k))
+		progress := float64(len(g.events)-half) / float64(g.cfg.Events-half)
+		scale := 1 + 0.4*progress
+		for i := range j.Features {
+			j.Features[i] *= scale
+		}
+		g.emit(j)
+	}
+}
+
+// genNearDup stresses the PR 5 sentence-dedup coalescer: every base line
+// arrives in a same-instant group with 1–3 exact duplicates (which dedup
+// answers for free) and 1–2 near duplicates — one feature nudged by exactly
+// one formatting quantum, so the sentence differs by a single digit and the
+// dedup map must miss. Duplicates inherit the base job's ground truth.
+func genNearDup(g *gen) {
+	const k = 4
+	sl := g.newSlots(k)
+	for !g.full() {
+		g.tick()
+		j := sl.take(g.rng.Intn(k))
+		g.emit(j)
+		for d := 1 + g.rng.Intn(3); d > 0 && !g.full(); d-- {
+			g.emit(j)
+		}
+		for d := 1 + g.rng.Intn(2); d > 0 && !g.full(); d-- {
+			nj := j
+			f := g.rng.Intn(flowbench.NumFeatures)
+			// FormatValue prints one decimal below 1e6 and none above: the
+			// smallest perturbation that changes the rendered line.
+			delta := 0.1
+			if nj.Features[f] >= 1e6 {
+				delta = 1
+			}
+			if g.rng.Intn(2) == 0 && nj.Features[f] > delta {
+				delta = -delta
+			}
+			nj.Features[f] += delta
+			g.emit(nj)
+		}
+	}
+}
