@@ -22,7 +22,17 @@ BENCH_OUT := BENCH_5.json
 # the same streams. loadlab-smoke is the seconds-scale CI subset.
 SCENARIO_OUT := BENCH_6.json
 
-.PHONY: check fmt vet build test bench bench-all bench-scenarios loadlab-smoke
+# The chaos suite `make bench-chaos` records to BENCH_7.json: every scenario
+# replayed as its chaos variant (deterministic faults over the middle third
+# of the schedule, docs/RELIABILITY.md) against an in-process server running
+# with admission control, deadlines, and brownout degradation armed, driven
+# through the retrying resilience client. Rows carry the failure taxonomy
+# (err_timeout/err_shed/err_server/err_transport), server overload counters
+# (server_shed/server_expired/server_degraded), and pre/during/post-window
+# p99. chaos-smoke is the seconds-scale CI subset.
+CHAOS_OUT := BENCH_7.json
+
+.PHONY: check fmt vet build test bench bench-all bench-scenarios loadlab-smoke bench-chaos chaos-smoke
 
 check: fmt vet build test
 
@@ -71,3 +81,26 @@ loadlab-smoke:
 	$(GO) run ./cmd/loadlab -events 200 -speed 200 -train 150 -pretrain 60 -epochs 1 \
 		-workflow predict-future-sales -seed 6 -scenarios steady,near-dup \
 		-out loadlab-smoke.json
+
+# bench-chaos replays every scenario as its chaos variant with the full
+# overload stack on. Speed 2 keeps each scenario's fault window hundreds of
+# milliseconds wide — heavy compression would shrink it below arrival jitter
+# and the campaign would never fire. The 20ms brownout hold matches the
+# compressed timescale: bursts that would saturate a production queue for
+# seconds last tens of milliseconds here, so the default 250ms hold would
+# never see sustained saturation and the degraded tier would never engage.
+bench-chaos:
+	$(GO) run ./cmd/loadlab -chaos -retries -shed-depth 64 -brownout 48 -brownout-hold 20ms \
+		-deadline-ms 500 -speed 2 -monitor none -baselines none -out $(CHAOS_OUT)
+	@echo "recorded $(CHAOS_OUT)"
+
+# chaos-smoke is the CI gate: one chaos scenario, tiny detector, real-time
+# schedule (~0.5s) — seconds end to end. Diffs against the recorded
+# chaos-smoke-baseline.json: deterministic columns (events, requests,
+# faults_injected) should not move; latency and shed columns move with the
+# runner.
+chaos-smoke:
+	$(GO) run ./cmd/loadlab -events 200 -speed 1 -train 150 -pretrain 60 -epochs 1 \
+		-workflow predict-future-sales -seed 6 -scenarios chaos-steady -monitor none -baselines none \
+		-shed-depth 64 -brownout 48 -deadline-ms 500 -retries \
+		-out chaos-smoke.json

@@ -23,7 +23,17 @@
 //	POST /v1/monitor[?model=]       raw log lines (or {"lines": [...]}) → monitor report
 //	GET  /v1/models                 registered models + serving stats
 //	GET  /v1/alerts                 SSE stream of alerts + trace-flagged verdicts
-//	GET  /healthz
+//	GET  /healthz                   liveness (always 200 while the process serves)
+//	GET  /readyz                    readiness: 503 while any model is saturated or browned out
+//
+// Overload safety: -shed-depth bounds each model's queue (excess enqueues are
+// answered 429 with Retry-After / Retry-After-Ms), -max-queue-wait sheds
+// stale queued work at dequeue, -deadline enforces a server-side request
+// deadline (clients override per request with ?deadline_ms=), and -brownout
+// degrades batch detection to a calibrated PCA baseline under sustained
+// saturation (responses carry "degraded": true). -faults arms a deterministic
+// fault-injection campaign (see internal/faults) for chaos drills; see
+// docs/RELIABILITY.md.
 //
 // With -load the daemon performs zero training steps at boot: each artifact
 // (written by -train-out, sfttrain -save, or iclrun -save) is loaded into the
@@ -53,30 +63,37 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/flowbench"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		approach = flag.String("approach", "sft", "sft or icl (training modes)")
-		model    = flag.String("model", "", "model name (defaults per approach)")
-		workflow = flag.String("workflow", "1000-genome", "training workflow")
-		trainN   = flag.Int("train", 1000, "training subsample size")
-		epochs   = flag.Int("epochs", 3, "SFT epochs")
-		preSteps = flag.Int("pretrain", 400, "pre-training steps")
-		debias   = flag.Bool("debias", true, "apply the empty-sentence debiasing augmentation")
-		seed     = flag.Uint64("seed", 42, "seed")
-		trainOut = flag.String("train-out", "", "train, write the detector artifact to this path, and exit (no serving)")
-		load     = flag.String("load", "", "comma-separated detector artifacts to serve ([name=]path, first is default); skips training entirely")
-		quantize = flag.Bool("quantize", false, "serve/save int8-quantized weights: with -load, quantize fp32 artifacts at load; with -train-out (or train-and-serve), quantize the trained detector")
-		maxBatch = flag.Int("max-batch", 32, "max sentences per batched model invocation")
-		flush    = flag.Duration("flush", 2*time.Millisecond, "coalescing flush deadline for partial batches (0 = flush when idle)")
-		workers  = flag.Int("workers", 0, "inference workers per model (0 = GOMAXPROCS)")
-		maxReq   = flag.Int("max-request", 0, "per-request sentence cap on /v1/detect/batch (0 = default 2048)")
-		tail     = flag.String("tail", "", "log file to follow and classify through the default model (empty = serve only)")
-		tailPoll = flag.Duration("tail-poll", 500*time.Millisecond, "poll interval while waiting for new -tail data")
-		strict   = flag.Bool("strict", false, "abort -tail on the first malformed line instead of skipping it")
+		addr         = flag.String("addr", ":8080", "listen address")
+		approach     = flag.String("approach", "sft", "sft or icl (training modes)")
+		model        = flag.String("model", "", "model name (defaults per approach)")
+		workflow     = flag.String("workflow", "1000-genome", "training workflow")
+		trainN       = flag.Int("train", 1000, "training subsample size")
+		epochs       = flag.Int("epochs", 3, "SFT epochs")
+		preSteps     = flag.Int("pretrain", 400, "pre-training steps")
+		debias       = flag.Bool("debias", true, "apply the empty-sentence debiasing augmentation")
+		seed         = flag.Uint64("seed", 42, "seed")
+		trainOut     = flag.String("train-out", "", "train, write the detector artifact to this path, and exit (no serving)")
+		load         = flag.String("load", "", "comma-separated detector artifacts to serve ([name=]path, first is default); skips training entirely")
+		quantize     = flag.Bool("quantize", false, "serve/save int8-quantized weights: with -load, quantize fp32 artifacts at load; with -train-out (or train-and-serve), quantize the trained detector")
+		maxBatch     = flag.Int("max-batch", 32, "max sentences per batched model invocation")
+		flush        = flag.Duration("flush", 2*time.Millisecond, "coalescing flush deadline for partial batches (0 = flush when idle)")
+		workers      = flag.Int("workers", 0, "inference workers per model (0 = GOMAXPROCS)")
+		maxReq       = flag.Int("max-request", 0, "per-request sentence cap on /v1/detect/batch (0 = default 2048)")
+		tail         = flag.String("tail", "", "log file to follow and classify through the default model (empty = serve only)")
+		tailPoll     = flag.Duration("tail-poll", 500*time.Millisecond, "poll interval while waiting for new -tail data")
+		strict       = flag.Bool("strict", false, "abort -tail on the first malformed line instead of skipping it")
+		shedDepth    = flag.Int("shed-depth", 0, "admission-control queue depth: enqueues beyond it are shed with 429 + Retry-After (0 = off)")
+		maxQueueWait = flag.Duration("max-queue-wait", 0, "shed queued requests older than this at dequeue (0 = off)")
+		deadline     = flag.Duration("deadline", 0, "default per-request deadline, overridable per request via ?deadline_ms (0 = none)")
+		brownout     = flag.Int("brownout", 0, "queue depth that engages brownout: /v1/detect/batch answers degraded from a calibrated PCA baseline until load recedes (0 = off)")
+		brownHold    = flag.Duration("brownout-hold", 0, "how long the queue must stay saturated before brownout engages (0 = default 250ms)")
+		faultsSpec   = flag.String("faults", "", `fault-injection campaign armed at listen, e.g. "seed=7,every=5,kinds=latency+error,window=10s:30s,path=/v1/" — chaos drills only`)
 	)
 	flag.Parse()
 	if *trainOut != "" && *load != "" {
@@ -85,6 +102,8 @@ func main() {
 
 	cfg := core.BatchConfig{
 		MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers, MaxRequest: *maxReq,
+		ShedQueueDepth: *shedDepth, MaxQueueWait: *maxQueueWait,
+		DefaultDeadline: *deadline, BrownoutDepth: *brownout, BrownoutHold: *brownHold,
 	}
 	reg := core.NewRegistry()
 
@@ -151,6 +170,23 @@ func main() {
 		}
 	}
 
+	// Brownout needs somewhere to degrade to: one cheap calibrated baseline,
+	// fitted on the training workflow's synthetic split, shared by every
+	// served model (scoring is read-only).
+	if *brownout > 0 {
+		ds := flowbench.Generate(flowbench.Workflow(*workflow), *seed)
+		fb, err := core.FitFallback("pca", ds.Train, *seed)
+		if err != nil {
+			log.Fatal("anomalyd: ", err)
+		}
+		for _, name := range reg.Names() {
+			if err := reg.SetFallback(name, fb); err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+		}
+		log.Printf("brownout armed: degrade to pca baseline at queue depth %d", *brownout)
+	}
+
 	// Signals are only captured once there is something to wind down.
 	// Installing the handler before a minutes-long training phase would
 	// swallow Ctrl-C and make the process unkillable until training ends.
@@ -158,6 +194,17 @@ func main() {
 	defer stop()
 
 	handler := core.NewServerRegistry(reg)
+	var root http.Handler = handler
+	if *faultsSpec != "" {
+		fc, err := faults.Parse(*faultsSpec)
+		if err != nil {
+			log.Fatal("anomalyd: ", err)
+		}
+		inj := faults.New(fc)
+		root = inj.Wrap(handler)
+		inj.Arm()
+		log.Printf("fault injection armed: %s", *faultsSpec)
+	}
 
 	tailDone := make(chan struct{})
 	if *tail == "" {
@@ -170,7 +217,7 @@ func main() {
 	}
 
 	log.Printf("listening on %s, models %v (max batch %d, flush %s)", *addr, reg.Names(), *maxBatch, *flush)
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: *addr, Handler: root}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 

@@ -8,6 +8,8 @@
 //	loadlab -load genome.artifact             # serve a saved artifact in-process
 //	loadlab -addr http://10.0.0.5:8080        # drive a remote anomalyd
 //	loadlab -scenarios bursty,near-dup -out - # subset, report to stdout
+//	loadlab -scenarios chaos-bursty -retries  # fault-injected replay, client retries
+//	loadlab -chaos -shed-depth 64 -brownout 48 -deadline-ms 250  # full overload drill
 //
 // Each scenario (see docs/SCENARIOS.md) is generated from a name + seed and
 // is byte-identical across runs, so reports diff meaningfully across commits
@@ -29,12 +31,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/flowbench"
 	"repro/internal/logparse"
+	"repro/internal/resilience"
 	"repro/internal/scenario"
 )
 
@@ -71,6 +76,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxBatch  = fs.Int("max-batch", 64, "max sentences per batched model invocation (in-process)")
 		flush     = fs.Duration("flush", 2*time.Millisecond, "coalescing flush deadline (in-process)")
 		workers   = fs.Int("workers", 0, "inference workers (0 = GOMAXPROCS, in-process)")
+		chaos     = fs.Bool("chaos", false, "replay every scenario as its chaos variant: deterministic faults during the middle third of the schedule (in-process only)")
+		shedDepth = fs.Int("shed-depth", 0, "admission-control queue depth; enqueues beyond it are shed with 429 (0 = off, in-process)")
+		deadline  = fs.Int("deadline-ms", 0, "server-side default request deadline in milliseconds (0 = none, in-process)")
+		brownout  = fs.Int("brownout", 0, "queue depth that engages brownout degradation to a calibrated PCA baseline (0 = off, in-process)")
+		brownHold = fs.Duration("brownout-hold", 0, "how long the queue must stay saturated before brownout engages (0 = server default 250ms; compressed replays need a hold matched to their timescale)")
+		retries   = fs.Bool("retries", false, "send replay requests through the resilience retry client (backoff, budget, Retry-After)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,9 +93,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	defs, err := pickScenarios(*names)
+	defs, chaosSet, err := pickScenarios(*names)
 	if err != nil {
 		return err
+	}
+	if *chaos {
+		for _, d := range defs {
+			chaosSet[d.Name] = true
+		}
 	}
 	monitorSet, err := pickMonitorSet(*monitors, defs)
 	if err != nil {
@@ -106,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	label := *detName
 	var cleanup func()
+	var gate *faultGate
 	if baseURL == "" {
 		det, defLabel, err := buildDetector(stderr, *load, *quantize, core.Options{
 			Approach:      core.SFT,
@@ -122,13 +139,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if label == "" {
 			label = defLabel
 		}
-		srv := core.NewServerWith(det, core.BatchConfig{MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers})
+		bcfg := core.BatchConfig{
+			MaxBatch: *maxBatch, FlushDelay: *flush, Workers: *workers,
+			ShedQueueDepth:  *shedDepth,
+			DefaultDeadline: time.Duration(*deadline) * time.Millisecond,
+			BrownoutDepth:   *brownout,
+			BrownoutHold:    *brownHold,
+		}
+		reg := core.NewRegistry()
+		if err := reg.Add(core.DefaultModel, det, bcfg); err != nil {
+			return err
+		}
+		if *brownout > 0 {
+			ds := flowbench.Generate(cfg.Workflow, cfg.Seed)
+			fb, err := core.FitFallback("pca", ds.Train, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			if err := reg.SetFallback(core.DefaultModel, fb); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "brownout fallback fitted (pca, engages at queue depth %d)\n", *brownout)
+		}
+		srv := core.NewServerRegistry(reg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			srv.Close()
 			return err
 		}
-		hsrv := &http.Server{Handler: srv}
+		gate = &faultGate{next: srv}
+		hsrv := &http.Server{Handler: gate}
 		go hsrv.Serve(ln)
 		baseURL = "http://" + ln.Addr().String()
 		cleanup = func() {
@@ -136,8 +176,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			srv.Close()
 		}
 		fmt.Fprintf(stderr, "serving %s in-process at %s\n", label, baseURL)
-	} else if label == "" {
-		label = "remote"
+	} else {
+		if len(chaosSet) > 0 {
+			return fmt.Errorf("chaos replays need the in-process server (faults are injected into its handler); drop -addr or use anomalyd -faults")
+		}
+		if label == "" {
+			label = "remote"
+		}
 	}
 	if cleanup != nil {
 		defer cleanup()
@@ -173,22 +218,59 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	for _, d := range defs {
 		s := d.Generate(cfg)
+		displayName := d.Name
+		scfg := rcfg
+		var inj *faults.Injector
+		if chaosSet[d.Name] {
+			displayName = scenario.ChaosName(d.Name)
+			plan := scenario.ChaosPlan(s, *speed, *seed)
+			inj = faults.New(plan)
+			scfg.FaultWindow = plan.Window
+			gate.set(inj)
+		}
+		if *retries {
+			// A fresh client per scenario keeps the retry counters per-row.
+			scfg.Retry = &resilience.Client{Policy: resilience.DefaultPolicy(*seed)}
+		}
 		fmt.Fprintf(stderr, "replaying %s: %d events over %s (speed %gx)\n",
-			d.Name, len(s.Events), s.Duration().Round(time.Millisecond), *speed)
+			displayName, len(s.Events), s.Duration().Round(time.Millisecond), *speed)
 
-		res, err := scenario.Replay(ctx, s, rcfg)
+		if inj != nil {
+			inj.Arm()
+		}
+		res, err := scenario.Replay(ctx, s, scfg)
+		if inj != nil {
+			gate.set(nil)
+		}
 		if err != nil {
-			return fmt.Errorf("replay %s: %w", d.Name, err)
+			return fmt.Errorf("replay %s: %w", displayName, err)
 		}
 		if res.Errors == res.Requests {
-			return fmt.Errorf("replay %s: all %d requests to %s failed", d.Name, res.Requests, baseURL)
+			return fmt.Errorf("replay %s: all %d requests to %s failed", displayName, res.Requests, baseURL)
 		}
 		if res.Errors > 0 {
-			fmt.Fprintf(stderr, "  %d/%d requests failed\n", res.Errors, res.Requests)
+			fmt.Fprintf(stderr, "  %d/%d requests failed (timeout %d, shed %d, server %d, transport %d)\n",
+				res.Errors, res.Requests, res.Failures.Timeout, res.Failures.Shed, res.Failures.Server, res.Failures.Transport)
+		}
+		if res.DegradedReqs > 0 || res.Server.Shed+res.Server.Expired > 0 {
+			fmt.Fprintf(stderr, "  overload: server shed %d, expired %d, degraded %d lines (%d degraded responses)\n",
+				res.Server.Shed, res.Server.Expired, res.Server.Degraded, res.DegradedReqs)
+		}
+		if inj != nil {
+			fmt.Fprintf(stderr, "  faults injected: %d %v\n", inj.Total(), inj.Counts())
+			if res.Phases != nil {
+				fmt.Fprintf(stderr, "  p99 pre %.1fms / during %.1fms / post %.1fms\n",
+					res.Phases.PreP99Ms, res.Phases.DuringP99Ms, res.Phases.PostP99Ms)
+			}
 		}
 		fmt.Fprintf(stderr, "  %s: %.0f lines/s, client p99 %.1fms, queue p99 %.1fms, AUC %.3f, trace F1 %.3f\n",
 			label, res.LinesPerSec, res.ClientP99Ms, res.Server.QueueWaitP99Ms, res.Quality.AUC, res.Quality.TraceF1)
-		report.Entries = append(report.Entries, res.Entry(label))
+		entry := res.Entry(label)
+		if inj != nil {
+			entry.Name = fmt.Sprintf("LoadLabChaos/%s/%s", d.Name, label)
+			entry.Extra["faults_injected"] = float64(inj.Total())
+		}
+		report.Entries = append(report.Entries, entry)
 
 		if monitorSet[d.Name] {
 			mres, err := scenario.ReplayMonitor(ctx, s, rcfg)
@@ -223,20 +305,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// pickScenarios resolves the -scenarios flag to scenario definitions.
-func pickScenarios(names string) ([]scenario.Def, error) {
+// faultGate is the swap-in point for chaos campaigns: an atomically
+// replaceable fault injector in front of the in-process server, so each
+// scenario can arm its own deterministic campaign and clean replays pass
+// through untouched.
+type faultGate struct {
+	next http.Handler
+	inj  atomic.Pointer[faults.Injector]
+}
+
+func (g *faultGate) set(inj *faults.Injector) { g.inj.Store(inj) }
+
+func (g *faultGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if inj := g.inj.Load(); inj != nil {
+		inj.Wrap(g.next).ServeHTTP(w, r)
+		return
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// pickScenarios resolves the -scenarios flag to scenario definitions plus
+// the set of names requested as chaos variants ("chaos-bursty" replays the
+// bursty stream behind the fault injector).
+func pickScenarios(names string) ([]scenario.Def, map[string]bool, error) {
+	chaosSet := map[string]bool{}
 	if names == "all" || names == "" {
-		return scenario.All(), nil
+		return scenario.All(), chaosSet, nil
 	}
 	var defs []scenario.Def
 	for _, name := range strings.Split(names, ",") {
-		d, err := scenario.Lookup(strings.TrimSpace(name))
+		base, isChaos := scenario.SplitChaos(strings.TrimSpace(name))
+		d, err := scenario.Lookup(base)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defs = append(defs, d)
+		if isChaos {
+			chaosSet[base] = true
+		}
 	}
-	return defs, nil
+	return defs, chaosSet, nil
 }
 
 // pickMonitorSet resolves the -monitor flag to the scenarios that also get a

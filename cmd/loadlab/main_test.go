@@ -92,6 +92,78 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunChaosSmoke is the `make chaos-smoke` path: replay a chaos variant
+// with admission control, brownout, deadlines, and client retries all on,
+// and validate the chaos report rows.
+func TestRunChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke test skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		// Speed 1 keeps the compressed schedule ~0.5s wide so the fault
+		// window (its middle third) actually brackets a run of requests;
+		// heavy compression would shrink the window below arrival jitter.
+		"-events", "200", "-speed", "1", "-workflow", "predict-future-sales", "-seed", "6",
+		"-train", "150", "-pretrain", "60", "-epochs", "1",
+		"-scenarios", "chaos-steady", "-monitor", "none", "-baselines", "none",
+		"-shed-depth", "64", "-brownout", "48", "-deadline-ms", "500", "-retries",
+		"-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Benchmarks []struct {
+			Name  string             `json:"name"`
+			Extra map[string]float64 `json:"extra"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	var row *struct {
+		Name  string             `json:"name"`
+		Extra map[string]float64 `json:"extra"`
+	}
+	for i := range report.Benchmarks {
+		if report.Benchmarks[i].Name == "LoadLabChaos/steady/sft" {
+			row = &report.Benchmarks[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("report has no LoadLabChaos/steady/sft row:\n%s", data)
+	}
+	if row.Extra["faults_injected"] <= 0 {
+		t.Errorf("chaos row recorded no injected faults: %v", row.Extra)
+	}
+	for _, key := range []string{"pre_p99_ms", "during_p99_ms", "post_p99_ms"} {
+		if _, ok := row.Extra[key]; !ok {
+			t.Errorf("chaos row missing %s", key)
+		}
+	}
+	// Shed-rate bound: with retries on, the vast majority of requests must
+	// still be answered (faults hit 1 in 4 requests in the middle third).
+	if events, reqs := row.Extra["events"], row.Extra["requests"]; events <= 0 || reqs <= 0 {
+		t.Errorf("chaos row lost traffic counts: %v", row.Extra)
+	} else if errRate := row.Extra["errors"] / reqs; errRate > 0.25 {
+		t.Errorf("error rate %.2f exceeds 0.25 despite retries", errRate)
+	}
+}
+
+func TestRunChaosNeedsInProcessServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenarios", "chaos-steady", "-addr", "http://127.0.0.1:1"}, &stdout, &stderr); err == nil {
+		t.Fatal("chaos against -addr should fail fast")
+	}
+}
+
 func TestRunRejectsUnknownScenario(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-scenarios", "nope"}, &stdout, &stderr); err == nil {

@@ -41,6 +41,8 @@ type engine struct {
 	det     Detector
 	cfg     BatchConfig
 	stats   *statsRecorder // owned by the registry slot; survives swaps
+	fb      *fallbackSlot  // owned by the registry slot; may hold no detector
+	brown   brownout
 	jobs    chan *detectJob
 	batches chan []*detectJob
 
@@ -51,12 +53,21 @@ type engine struct {
 
 // newEngine starts the dispatcher and worker pool for det. cfg must already
 // be filled. stats may be nil (engines outside a registry slot run
-// uninstrumented).
-func newEngine(det Detector, cfg BatchConfig, stats *statsRecorder) *engine {
+// uninstrumented); fb may be nil (no brownout tier).
+func newEngine(det Detector, cfg BatchConfig, stats *statsRecorder, fb *fallbackSlot) *engine {
+	if fb == nil {
+		fb = &fallbackSlot{}
+	}
 	e := &engine{
-		det:     det,
-		cfg:     cfg,
-		stats:   stats,
+		det:   det,
+		cfg:   cfg,
+		stats: stats,
+		fb:    fb,
+		brown: brownout{
+			high: cfg.BrownoutDepth,
+			low:  cfg.BrownoutRecover,
+			hold: cfg.BrownoutHold,
+		},
 		jobs:    make(chan *detectJob, cfg.QueueDepth),
 		batches: make(chan []*detectJob, cfg.Workers),
 	}
@@ -90,18 +101,40 @@ func (e *engine) Close() {
 // soon as ctx is done, whether the job is still queued or in flight, and the
 // batch runner skips enqueued jobs whose context has already been cancelled
 // instead of computing results nobody will read.
-func (e *engine) DetectContext(ctx context.Context, sentences []string) ([]Result, error) {
+//
+// Overload handling happens here, before any work is queued. When the slot
+// holds a brownout fallback and sustained saturation has engaged it, the
+// request is answered by the cheap tier immediately (degraded=true) without
+// touching the queue. Otherwise, if the queue already holds ShedQueueDepth
+// jobs, the request is shed with an OverloadedError carrying a Retry-After
+// estimate — the 429 path — rather than deepening a backlog the workers
+// cannot drain.
+func (e *engine) DetectContext(ctx context.Context, sentences []string) (results []Result, degraded bool, err error) {
 	if len(sentences) == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	depth := len(e.jobs)
+	if fb := e.fb.load(); fb != nil && e.brown.observe(depth, time.Now()) {
+		res := fb.DetectBatch(sentences)
+		if e.stats != nil {
+			e.stats.degradedServed(len(sentences))
+		}
+		return res, true, nil
+	}
+	if shed := e.cfg.ShedQueueDepth; shed > 0 && depth >= shed {
+		if e.stats != nil {
+			e.stats.shedRequest()
+		}
+		return nil, false, &OverloadedError{RetryAfter: e.retryAfter(depth)}
 	}
 	j := &detectJob{ctx: ctx, sentences: sentences, enqueued: time.Now(), done: make(chan struct{})}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return nil, ErrServerClosed
+		return nil, false, ErrServerClosed
 	}
 	select {
 	case e.jobs <- j:
@@ -113,18 +146,49 @@ func (e *engine) DetectContext(ctx context.Context, sentences []string) ([]Resul
 		e.mu.RUnlock()
 	case <-ctx.Done():
 		e.mu.RUnlock()
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
 	select {
 	case <-j.done:
 		// A skipped job closes done with err set; returning it (rather than
 		// assuming results exist) matters because this select can win the
 		// race against ctx.Done after a cancellation.
-		return j.results, j.err
+		return j.results, false, j.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
 }
+
+// retryAfter estimates how long a shed client should wait before retrying:
+// the expected time for the backlog ahead of it to drain, assuming each
+// queued job becomes roughly one batch served by Workers parallel workers at
+// the recent median compute time. Clamped to [50ms, 5s] so a cold stats
+// window or a pathological p50 still yields a sane hint.
+func (e *engine) retryAfter(depth int) time.Duration {
+	per := 25 * time.Millisecond
+	if e.stats != nil {
+		if p50 := e.stats.computeP50(); p50 > 0 {
+			per = p50
+		}
+	}
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	d := time.Duration(float64(depth+1) / float64(workers) * float64(per))
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// brownoutActive reports whether the degradation tier is currently engaged,
+// without folding in a queue-depth observation — the /readyz and /v1/models
+// view of the state machine.
+func (e *engine) brownoutActive() bool { return e.brown.active() }
 
 // dispatch is the single batch-forming goroutine: it takes one queued job,
 // coalesces more until the batch is full, the flush deadline passes, or the
@@ -206,8 +270,25 @@ func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.
 	total := 0
 	for _, j := range batch {
 		if j.ctx != nil && j.ctx.Err() != nil {
+			// Deadline enforcement at dequeue: a request whose deadline (or
+			// caller) died while it sat queued is dropped before compute —
+			// the model never runs for a client that has already given up.
 			j.err = j.ctx.Err()
+			if e.stats != nil && errors.Is(j.err, context.DeadlineExceeded) {
+				e.stats.expiredRequest()
+			}
 			close(j.done) // waiter already gone; unblock any racing reader
+			continue
+		}
+		if mw := e.cfg.MaxQueueWait; mw > 0 && started.Sub(j.enqueued) > mw {
+			// Queue-wait budget: the job outstayed its queue allowance, so the
+			// answer would arrive too stale to be worth the compute. Shed it
+			// with the same 429 contract as admission control.
+			j.err = &OverloadedError{RetryAfter: e.retryAfter(len(e.jobs))}
+			if e.stats != nil {
+				e.stats.shedRequest()
+			}
+			close(j.done)
 			continue
 		}
 		live = append(live, j)

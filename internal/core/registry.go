@@ -21,11 +21,12 @@ var ErrUnknownModel = errors.New("core: unknown model")
 // tracker and batching configuration survive a hot-swap, so an operator can
 // replace a detector's weights without losing online trace verdicts.
 type servedModel struct {
-	name    string
-	cfg     BatchConfig
-	eng     *engine
-	tracker *TraceTracker
-	stats   *statsRecorder
+	name     string
+	cfg      BatchConfig
+	eng      *engine
+	tracker  *TraceTracker
+	stats    *statsRecorder
+	fallback *fallbackSlot
 }
 
 // Registry holds named detectors, each served by its own coalescing queue and
@@ -68,12 +69,14 @@ func (r *Registry) Add(name string, det Detector, cfg BatchConfig) error {
 		return fmt.Errorf("core: model %q already registered", name)
 	}
 	stats := &statsRecorder{}
+	fb := &fallbackSlot{}
 	r.models[name] = &servedModel{
-		name:    name,
-		cfg:     cfg,
-		eng:     newEngine(det, cfg, stats),
-		tracker: NewTraceTracker(cfg.Policy, cfg.MaxTraces),
-		stats:   stats,
+		name:     name,
+		cfg:      cfg,
+		eng:      newEngine(det, cfg, stats, fb),
+		tracker:  NewTraceTracker(cfg.Policy, cfg.MaxTraces),
+		stats:    stats,
+		fallback: fb,
 	}
 	if r.def == "" {
 		r.def = name
@@ -104,7 +107,7 @@ func (r *Registry) Swap(name string, det Detector) error {
 		return fmt.Errorf("%w %q", ErrUnknownModel, name)
 	}
 	old := m.eng
-	m.eng = newEngine(det, m.cfg, m.stats)
+	m.eng = newEngine(det, m.cfg, m.stats, m.fallback)
 	r.mu.Unlock()
 	old.Close() // outside the lock: draining must not block other routes
 	return nil
@@ -138,6 +141,22 @@ func (r *Registry) Remove(name string) error {
 	}
 	r.mu.Unlock()
 	m.eng.Close()
+	return nil
+}
+
+// SetFallback installs (or, with nil, removes) the brownout fallback detector
+// for name ("" = default model). The fallback lives on the registry slot like
+// the trace tracker, so it takes effect immediately, survives hot-swaps, and
+// engages only when the slot's BrownoutDepth watermark is configured and the
+// queue stays saturated past BrownoutHold.
+func (r *Registry) SetFallback(name string, det Detector) error {
+	r.mu.RLock()
+	m, err := r.lookupLocked(name)
+	r.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	m.fallback.store(det)
 	return nil
 }
 
@@ -204,6 +223,12 @@ type ModelInfo struct {
 	Workers      int       `json:"workers"`
 	MaxRequest   int       `json:"max_request"`
 	ActiveTraces int       `json:"active_traces"`
+	// QueueDepth is the engine's queue capacity; ShedQueueDepth the admission
+	// budget (0: shedding disabled). Together with Stats.QueueLen they give
+	// probes and the future gateway a per-model saturation fraction.
+	QueueDepth     int  `json:"queue_depth"`
+	ShedQueueDepth int  `json:"shed_queue_depth,omitempty"`
+	HasFallback    bool `json:"has_fallback,omitempty"`
 	// Stats is the slot's serving-counter snapshot: queue depth and
 	// saturation, coalescing effectiveness, and the queue-wait/compute stage
 	// latency percentiles the load lab records per scenario.
@@ -216,15 +241,18 @@ func (r *Registry) Info() []ModelInfo {
 	out := make([]ModelInfo, 0, len(r.models))
 	for _, m := range r.models {
 		out = append(out, ModelInfo{
-			Name:         m.name,
-			Approach:     m.eng.det.Approach(),
-			Precision:    DetectorPrecision(m.eng.det),
-			Default:      m.name == r.def,
-			MaxBatch:     m.cfg.MaxBatch,
-			Workers:      m.cfg.Workers,
-			MaxRequest:   m.cfg.MaxRequest,
-			ActiveTraces: m.tracker.Len(),
-			Stats:        m.stats.snapshot(len(m.eng.jobs)),
+			Name:           m.name,
+			Approach:       m.eng.det.Approach(),
+			Precision:      DetectorPrecision(m.eng.det),
+			Default:        m.name == r.def,
+			MaxBatch:       m.cfg.MaxBatch,
+			Workers:        m.cfg.Workers,
+			MaxRequest:     m.cfg.MaxRequest,
+			ActiveTraces:   m.tracker.Len(),
+			QueueDepth:     m.cfg.QueueDepth,
+			ShedQueueDepth: m.cfg.ShedQueueDepth,
+			HasFallback:    m.fallback.load() != nil,
+			Stats:          m.stats.snapshot(len(m.eng.jobs), m.eng.brownoutActive()),
 		})
 	}
 	r.mu.RUnlock()
@@ -240,7 +268,52 @@ func (r *Registry) Stats(name string) (EngineStats, error) {
 	if err != nil {
 		return EngineStats{}, err
 	}
-	return m.stats.snapshot(len(m.eng.jobs)), nil
+	return m.stats.snapshot(len(m.eng.jobs), m.eng.brownoutActive()), nil
+}
+
+// ModelReadiness is one model's saturation view for /readyz: a model is not
+// ready when its queue is at the shed threshold (or full, if shedding is off)
+// or its brownout tier is engaged — the signals a gateway uses to eject a hot
+// replica from rotation before requests start failing.
+type ModelReadiness struct {
+	Name       string  `json:"name"`
+	QueueLen   int     `json:"queue_len"`
+	QueueCap   int     `json:"queue_cap"`
+	Saturation float64 `json:"saturation"`
+	Degraded   bool    `json:"degraded"`
+	Ready      bool    `json:"ready"`
+}
+
+// Readiness reports per-model saturation, sorted by name. The second return
+// is true only when every model is ready.
+func (r *Registry) Readiness() ([]ModelReadiness, bool) {
+	r.mu.RLock()
+	out := make([]ModelReadiness, 0, len(r.models))
+	allReady := true
+	for _, m := range r.models {
+		cap := m.cfg.QueueDepth
+		if s := m.cfg.ShedQueueDepth; s > 0 && s < cap {
+			cap = s
+		}
+		depth := len(m.eng.jobs)
+		mr := ModelReadiness{
+			Name:     m.name,
+			QueueLen: depth,
+			QueueCap: cap,
+			Degraded: m.eng.brownoutActive(),
+		}
+		if cap > 0 {
+			mr.Saturation = float64(depth) / float64(cap)
+		}
+		mr.Ready = !mr.Degraded && mr.Saturation < 1
+		if !mr.Ready {
+			allReady = false
+		}
+		out = append(out, mr)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out, allReady
 }
 
 // ResetStats zeroes the serving counters and latency windows for name

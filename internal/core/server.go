@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,11 +27,14 @@ type DetectRequest struct {
 	LogLine string `json:"log_line,omitempty"`
 }
 
-// DetectResponse is the detection outcome.
+// DetectResponse is the detection outcome. Degraded is set (only on the
+// single-sentence endpoint) when the brownout tier answered instead of the
+// primary model.
 type DetectResponse struct {
 	Label    int     `json:"label"`
 	Category string  `json:"category"`
 	Score    float64 `json:"score"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/detect/batch.
@@ -37,9 +42,13 @@ type BatchRequest struct {
 	Sentences []string `json:"sentences"`
 }
 
-// BatchResponse holds per-sentence outcomes in input order.
+// BatchResponse holds per-sentence outcomes in input order. Degraded is true
+// when the brownout tier (the calibrated baseline scorer, not the primary
+// model) produced the results — a cheap answer under saturation instead of a
+// timeout.
 type BatchResponse struct {
-	Results []DetectResponse `json:"results"`
+	Results  []DetectResponse `json:"results"`
+	Degraded bool             `json:"degraded,omitempty"`
 }
 
 // MonitorRequest is the JSON body of POST /v1/monitor (the endpoint also
@@ -58,6 +67,27 @@ type MonitorResponse struct {
 // ModelsResponse is the body of GET /v1/models.
 type ModelsResponse struct {
 	Models []ModelInfo `json:"models"`
+	// SSE reports the alert bus: subscriber count and events dropped to slow
+	// subscribers (publish never blocks the monitor; a full subscriber
+	// buffer loses the event, and this is where those losses become
+	// visible).
+	SSE SSEStats `json:"sse"`
+}
+
+// SSEStats is the alert bus's delivery telemetry in /v1/models.
+type SSEStats struct {
+	Subscribers int   `json:"subscribers"`
+	Dropped     int64 `json:"dropped_total"`
+	// PerSubscriber breaks drops down by connection, identified by a
+	// monotonic id assigned at subscribe time.
+	PerSubscriber []SSESubscriberStats `json:"per_subscriber,omitempty"`
+}
+
+// SSESubscriberStats is one /v1/alerts connection's delivery counters.
+type SSESubscriberStats struct {
+	ID      int   `json:"id"`
+	Pending int   `json:"pending"`
+	Dropped int64 `json:"dropped"`
 }
 
 // AlertEvent is the SSE wire form of an Alert (`event: alert`). Model names
@@ -106,6 +136,34 @@ type BatchConfig struct {
 	Policy TracePolicy
 	// MaxTraces bounds the model's online trace window (default 4096).
 	MaxTraces int
+
+	// ShedQueueDepth is the admission-control budget: a request arriving
+	// while the queue already holds this many jobs is shed with 429
+	// Retry-After instead of deepening a backlog the workers cannot drain.
+	// Zero disables shedding (requests block on the queue as before);
+	// values above QueueDepth are clamped to it.
+	ShedQueueDepth int
+	// MaxQueueWait is the per-job queue-time budget: a job that sat queued
+	// longer than this is shed at dequeue (same 429 contract) instead of
+	// computed — its answer would arrive too stale to matter. Zero disables.
+	MaxQueueWait time.Duration
+	// DefaultDeadline is applied to detect requests that carry no
+	// ?deadline_ms; a request whose deadline passes while queued is dropped
+	// at dequeue (504) without touching the model. Zero means no default.
+	DefaultDeadline time.Duration
+	// BrownoutDepth engages the graceful-degradation tier: when the queue
+	// has stayed at or above this depth for BrownoutHold and the slot holds
+	// a fallback detector (Registry.SetFallback), detect traffic is answered
+	// by the cheap tier (degraded:true) until the queue drains to
+	// BrownoutRecover. Zero disables brownout.
+	BrownoutDepth int
+	// BrownoutRecover is the low watermark that disengages the brownout
+	// tier (default BrownoutDepth/2).
+	BrownoutRecover int
+	// BrownoutHold is how long the queue must stay saturated before the
+	// tier engages — a single burst should shed, not degrade (default
+	// 250ms when BrownoutDepth is set).
+	BrownoutHold time.Duration
 }
 
 // DefaultBatchConfig is the serving recipe used by NewServer: batches of up
@@ -126,6 +184,17 @@ func (c *BatchConfig) fill() {
 	}
 	if c.MaxRequest <= 0 {
 		c.MaxRequest = 2048
+	}
+	if c.ShedQueueDepth > c.QueueDepth {
+		c.ShedQueueDepth = c.QueueDepth
+	}
+	if c.BrownoutDepth > 0 {
+		if c.BrownoutRecover <= 0 {
+			c.BrownoutRecover = c.BrownoutDepth / 2
+		}
+		if c.BrownoutHold <= 0 {
+			c.BrownoutHold = 250 * time.Millisecond
+		}
 	}
 	// Policy and MaxTraces zero values are resolved by NewTraceTracker.
 }
@@ -198,6 +267,7 @@ func NewServerRegistry(reg *Registry) *Server {
 	s.mux.HandleFunc("/v1/stats/reset", s.handleStatsReset)
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s
 }
 
@@ -241,12 +311,22 @@ func (s *Server) DetectContext(ctx context.Context, sentences []string) ([]Resul
 // routing and enqueueing, the call transparently retries against the
 // replacement engine — a Swap under concurrent load drops no requests.
 func (s *Server) DetectModelContext(ctx context.Context, model string, sentences []string) ([]Result, error) {
+	res, _, err := s.DetectModelDegraded(ctx, model, sentences)
+	return res, err
+}
+
+// DetectModelDegraded is DetectModelContext exposing whether the brownout
+// fallback tier (rather than the primary model) produced the results — the
+// signal the HTTP layer surfaces as `degraded:true`. Requests shed by
+// admission control or the queue-wait budget fail with an *OverloadedError
+// (errors.Is ErrOverloaded) carrying a Retry-After estimate.
+func (s *Server) DetectModelDegraded(ctx context.Context, model string, sentences []string) ([]Result, bool, error) {
 	for {
 		eng, err := s.reg.route(model)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		res, err := eng.DetectContext(ctx, sentences)
+		res, degraded, err := eng.DetectContext(ctx, sentences)
 		if errors.Is(err, ErrServerClosed) {
 			// The engine was swapped out (or the registry closed) between
 			// route and enqueue. Re-route: a swap installs a replacement the
@@ -254,7 +334,7 @@ func (s *Server) DetectModelContext(ctx context.Context, model string, sentences
 			// route and terminates the loop.
 			continue
 		}
-		return res, err
+		return res, degraded, err
 	}
 }
 
@@ -383,6 +463,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// readyResponse is the /readyz body: per-model queue saturation and the
+// overall verdict. Status 200 means every model is ready; 503 means at least
+// one is saturated or browned out — the signal a load balancer or the future
+// gateway uses to eject this replica from rotation while it drains.
+type readyResponse struct {
+	Ready  bool             `json:"ready"`
+	Models []ModelReadiness `json:"models"`
+}
+
+// handleReady is GET /readyz: readiness, as distinct from /healthz liveness.
+// A live-but-saturated replica answers 503 here while still answering 200 on
+// /healthz, so orchestrators stop routing to it without restarting it.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	models, ready := s.reg.Readiness()
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(readyResponse{Ready: ready, Models: models})
+}
+
 // handleModels is GET /v1/models: the registered models, their approaches,
 // and per-model serving stats — what an operator checks before routing
 // traffic with ?model= or hot-swapping an artifact.
@@ -391,7 +496,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, ModelsResponse{Models: s.reg.Info()})
+	writeJSON(w, ModelsResponse{Models: s.reg.Info(), SSE: s.bus.stats()})
 }
 
 // handleStatsReset is POST /v1/stats/reset[?model=]: zero the model's
@@ -413,14 +518,52 @@ func (s *Server) handleStatsReset(w http.ResponseWriter, r *http.Request) {
 // modelParam extracts the ?model= routing parameter ("" = default model).
 func modelParam(r *http.Request) string { return r.URL.Query().Get("model") }
 
-// writeDetectError maps routing/queue errors to HTTP statuses: unknown model
-// names are the client's mistake (404), everything else is unavailability.
-func writeDetectError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrUnknownModel) {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
+// requestDeadline resolves a detect request's deadline: the ?deadline_ms
+// query parameter when present, the model's DefaultDeadline otherwise. Zero
+// means no deadline.
+func requestDeadline(r *http.Request, cfg BatchConfig) (time.Duration, error) {
+	v := r.URL.Query().Get("deadline_ms")
+	if v == "" {
+		return cfg.DefaultDeadline, nil
 	}
-	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad deadline_ms %q: want a positive integer of milliseconds", v)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// deadlineContext applies d (when positive) to ctx.
+func deadlineContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// writeDetectError maps routing/queue errors to HTTP statuses: unknown model
+// names are the client's mistake (404); shed requests are 429 with the
+// server's drain estimate in Retry-After (integer seconds, per RFC 9110) and
+// Retry-After-Ms (exact milliseconds, for clients that can back off finer
+// than a second); an expired deadline is 504; everything else is 503.
+func writeDetectError(w http.ResponseWriter, err error) {
+	var oe *OverloadedError
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.As(err, &oe):
+		secs := int64((oe.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Retry-After-Ms", strconv.FormatInt(oe.RetryAfter.Milliseconds(), 10))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "deadline exceeded before results were ready", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -450,12 +593,27 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "set exactly one of sentence or log_line", http.StatusBadRequest)
 		return
 	}
-	results, err := s.DetectModelContext(r.Context(), modelParam(r), []string{sentence})
+	model := modelParam(r)
+	cfg, err := s.reg.config(model)
 	if err != nil {
 		writeDetectError(w, err)
 		return
 	}
-	writeJSON(w, toResponse(results[0]))
+	dl, err := requestDeadline(r, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := deadlineContext(r.Context(), dl)
+	defer cancel()
+	results, degraded, err := s.DetectModelDegraded(ctx, model, []string{sentence})
+	if err != nil {
+		writeDetectError(w, err)
+		return
+	}
+	resp := toResponse(results[0])
+	resp.Degraded = degraded
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -479,12 +637,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.Sentences), cfg.MaxRequest), http.StatusRequestEntityTooLarge)
 		return
 	}
-	results, err := s.DetectModelContext(r.Context(), model, req.Sentences)
+	dl, err := requestDeadline(r, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := deadlineContext(r.Context(), dl)
+	defer cancel()
+	results, degraded, err := s.DetectModelDegraded(ctx, model, req.Sentences)
 	if err != nil {
 		writeDetectError(w, err)
 		return
 	}
-	resp := BatchResponse{Results: make([]DetectResponse, len(results))}
+	resp := BatchResponse{Results: make([]DetectResponse, len(results)), Degraded: degraded}
 	for i, res := range results {
 		resp.Results[i] = toResponse(res)
 	}
@@ -557,8 +722,8 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	ch := s.bus.subscribe()
-	defer s.bus.unsubscribe(ch)
+	sub := s.bus.subscribe()
+	defer s.bus.unsubscribe(sub)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
@@ -570,7 +735,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-s.streams:
 			return
-		case ev := <-ch:
+		case ev := <-sub.ch:
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
 			fl.Flush()
 		}
@@ -583,28 +748,40 @@ type sseEvent struct {
 	data []byte
 }
 
+// sseSub is one /v1/alerts subscription: its event buffer plus delivery
+// counters. dropped is written under the bus mutex and read through stats().
+type sseSub struct {
+	id      int
+	ch      chan sseEvent
+	dropped int64
+}
+
 // alertBus fans monitor events out to SSE subscribers. Publishing never
 // blocks: a subscriber whose buffer is full misses the event (alerting is
 // best-effort telemetry; /v1/monitor's report holds the authoritative
-// counts).
+// counts) — but the miss is counted, per subscriber and in total, and
+// surfaced in /v1/models so silent loss is at least visible loss.
 type alertBus struct {
-	mu   sync.Mutex
-	subs map[chan sseEvent]struct{}
+	mu      sync.Mutex
+	subs    map[*sseSub]struct{}
+	nextID  int
+	dropped int64 // includes drops by since-departed subscribers
 }
 
-func newAlertBus() *alertBus { return &alertBus{subs: make(map[chan sseEvent]struct{})} }
+func newAlertBus() *alertBus { return &alertBus{subs: make(map[*sseSub]struct{})} }
 
-func (b *alertBus) subscribe() chan sseEvent {
-	ch := make(chan sseEvent, 64)
+func (b *alertBus) subscribe() *sseSub {
 	b.mu.Lock()
-	b.subs[ch] = struct{}{}
+	b.nextID++
+	sub := &sseSub{id: b.nextID, ch: make(chan sseEvent, 64)}
+	b.subs[sub] = struct{}{}
 	b.mu.Unlock()
-	return ch
+	return sub
 }
 
-func (b *alertBus) unsubscribe(ch chan sseEvent) {
+func (b *alertBus) unsubscribe(sub *sseSub) {
 	b.mu.Lock()
-	delete(b.subs, ch)
+	delete(b.subs, sub)
 	b.mu.Unlock()
 }
 
@@ -618,12 +795,33 @@ func (b *alertBus) publish(name string, v interface{}) {
 	if err != nil {
 		return
 	}
-	for ch := range b.subs {
+	for sub := range b.subs {
 		select {
-		case ch <- sseEvent{name: name, data: data}:
+		case sub.ch <- sseEvent{name: name, data: data}:
 		default: // slow subscriber: drop rather than stall the monitor
+			sub.dropped++
+			b.dropped++
 		}
 	}
+}
+
+// stats snapshots the bus's delivery counters, per-subscriber rows sorted by
+// subscription order.
+func (b *alertBus) stats() SSEStats {
+	b.mu.Lock()
+	st := SSEStats{Subscribers: len(b.subs), Dropped: b.dropped}
+	for sub := range b.subs {
+		st.PerSubscriber = append(st.PerSubscriber, SSESubscriberStats{
+			ID:      sub.id,
+			Pending: len(sub.ch),
+			Dropped: sub.dropped,
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(st.PerSubscriber, func(i, k int) bool {
+		return st.PerSubscriber[i].ID < st.PerSubscriber[k].ID
+	})
+	return st
 }
 
 // busSink adapts the alert bus to the monitor's AlertSink interface,

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAlertBusCountsDrops pins the slow-subscriber contract: publish never
+// blocks, events past a full 64-slot buffer are dropped, and both the
+// per-subscriber and total drop counters account for every loss.
+func TestAlertBusCountsDrops(t *testing.T) {
+	b := newAlertBus()
+	slow := b.subscribe() // never drained
+	fast := b.subscribe() // drained between publishes: loses nothing
+	const published = 100
+	received := 0
+	for i := 0; i < published; i++ {
+		b.publish("alert", AlertEvent{Model: "m", Trace: i})
+		for len(fast.ch) > 0 {
+			<-fast.ch
+			received++
+		}
+	}
+	if received != published {
+		t.Fatalf("fast subscriber received %d of %d", received, published)
+	}
+
+	st := b.stats()
+	if st.Subscribers != 2 {
+		t.Fatalf("subscribers = %d, want 2", st.Subscribers)
+	}
+	wantDropped := int64(published - cap(slow.ch))
+	if st.Dropped != wantDropped {
+		t.Fatalf("dropped_total = %d, want %d", st.Dropped, wantDropped)
+	}
+	var slowRow, fastRow *SSESubscriberStats
+	for i := range st.PerSubscriber {
+		switch st.PerSubscriber[i].ID {
+		case slow.id:
+			slowRow = &st.PerSubscriber[i]
+		case fast.id:
+			fastRow = &st.PerSubscriber[i]
+		}
+	}
+	if slowRow == nil || fastRow == nil {
+		t.Fatalf("missing per-subscriber rows: %+v", st.PerSubscriber)
+	}
+	if slowRow.Dropped != wantDropped || slowRow.Pending != cap(slow.ch) {
+		t.Fatalf("slow subscriber row = %+v, want %d dropped with a full buffer", slowRow, wantDropped)
+	}
+	if fastRow.Dropped != 0 {
+		t.Fatalf("fast subscriber dropped %d events", fastRow.Dropped)
+	}
+
+	// The total survives the slow subscriber leaving; its row does not.
+	b.unsubscribe(slow)
+	st = b.stats()
+	if st.Dropped != wantDropped || st.Subscribers != 1 {
+		t.Fatalf("stats after unsubscribe = %+v", st)
+	}
+	b.unsubscribe(fast)
+}
+
+// TestModelsExposesSSEStats checks the /v1/models surface: subscriber count
+// and drop totals ride along with the model rows, under the JSON field names
+// the docs promise.
+func TestModelsExposesSSEStats(t *testing.T) {
+	srv := NewServerWith(hashDetector{}, BatchConfig{MaxBatch: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sub := srv.bus.subscribe() // a subscriber that never reads
+	defer srv.bus.unsubscribe(sub)
+	for i := 0; i < 70; i++ {
+		srv.bus.publish("alert", AlertEvent{Model: "default", Trace: i})
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sse"`, `"dropped_total"`, `"per_subscriber"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("models JSON missing %s: %s", want, raw)
+		}
+	}
+	var mr ModelsResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.SSE.Subscribers != 1 {
+		t.Fatalf("sse subscribers = %d, want 1", mr.SSE.Subscribers)
+	}
+	if mr.SSE.Dropped != int64(70-cap(sub.ch)) {
+		t.Fatalf("sse dropped_total = %d, want %d", mr.SSE.Dropped, 70-cap(sub.ch))
+	}
+	if len(mr.SSE.PerSubscriber) != 1 || mr.SSE.PerSubscriber[0].Dropped != mr.SSE.Dropped {
+		t.Fatalf("per-subscriber rows = %+v", mr.SSE.PerSubscriber)
+	}
+}

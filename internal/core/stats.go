@@ -25,6 +25,15 @@ type EngineStats struct {
 	// the sentence-dedup layer answered without a model invocation.
 	Batches    int64 `json:"batches"`
 	DedupSaved int64 `json:"dedup_saved"`
+	// Shed counts requests refused by admission control or the queue-wait
+	// budget (the 429 Retry-After path); Expired counts requests whose
+	// deadline passed while queued, dropped at dequeue without compute.
+	Shed    int64 `json:"shed"`
+	Expired int64 `json:"expired"`
+	// Degraded counts sentences answered by the brownout fallback tier;
+	// BrownoutActive reports whether that tier is engaged right now.
+	Degraded       int64 `json:"degraded"`
+	BrownoutActive bool  `json:"brownout_active"`
 	// BatchOccupancy is the mean number of sentences per executed batch.
 	BatchOccupancy float64 `json:"batch_occupancy"`
 	// Stage latency percentiles in milliseconds, over the most recent
@@ -52,6 +61,9 @@ type statsRecorder struct {
 	sentences  int64
 	batches    int64
 	dedupSaved int64
+	shed       int64
+	expired    int64
+	degraded   int64
 	maxQueue   int
 	queueWait  sampleRing
 	compute    sampleRing
@@ -107,19 +119,55 @@ func (s *statsRecorder) ranBatch(queueWaits []time.Duration, compute time.Durati
 	s.mu.Unlock()
 }
 
-// snapshot renders the recorder as EngineStats. queueLen is sampled by the
-// caller (it lives on the engine's channel, not the recorder).
-func (s *statsRecorder) snapshot(queueLen int) EngineStats {
+// shedRequest counts one request refused by admission control or the
+// queue-wait budget.
+func (s *statsRecorder) shedRequest() {
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+}
+
+// expiredRequest counts one request whose deadline passed while it was
+// queued.
+func (s *statsRecorder) expiredRequest() {
+	s.mu.Lock()
+	s.expired++
+	s.mu.Unlock()
+}
+
+// degradedServed counts sentences answered by the brownout fallback tier.
+func (s *statsRecorder) degradedServed(sentences int) {
+	s.mu.Lock()
+	s.degraded += int64(sentences)
+	s.mu.Unlock()
+}
+
+// computeP50 returns the recent median model time, the per-job drain estimate
+// behind Retry-After hints. Zero when no batch has run yet.
+func (s *statsRecorder) computeP50() time.Duration {
+	s.mu.Lock()
+	cp := s.compute.snapshot()
+	s.mu.Unlock()
+	return time.Duration(metrics.Percentile(cp, 0.50) * float64(time.Millisecond))
+}
+
+// snapshot renders the recorder as EngineStats. queueLen and brownoutActive
+// are sampled by the caller (they live on the engine, not the recorder).
+func (s *statsRecorder) snapshot(queueLen int, brownoutActive bool) EngineStats {
 	s.mu.Lock()
 	qw := s.queueWait.snapshot()
 	cp := s.compute.snapshot()
 	st := EngineStats{
-		QueueLen:    queueLen,
-		MaxQueueLen: s.maxQueue,
-		Requests:    s.requests,
-		Sentences:   s.sentences,
-		Batches:     s.batches,
-		DedupSaved:  s.dedupSaved,
+		QueueLen:       queueLen,
+		MaxQueueLen:    s.maxQueue,
+		Requests:       s.requests,
+		Sentences:      s.sentences,
+		Batches:        s.batches,
+		DedupSaved:     s.dedupSaved,
+		Shed:           s.shed,
+		Expired:        s.expired,
+		Degraded:       s.degraded,
+		BrownoutActive: brownoutActive,
 	}
 	if st.Batches > 0 {
 		st.BatchOccupancy = float64(st.Sentences) / float64(st.Batches)
@@ -136,6 +184,7 @@ func (s *statsRecorder) snapshot(queueLen int) EngineStats {
 func (s *statsRecorder) reset() {
 	s.mu.Lock()
 	s.requests, s.sentences, s.batches, s.dedupSaved = 0, 0, 0, 0
+	s.shed, s.expired, s.degraded = 0, 0, 0
 	s.maxQueue = 0
 	s.queueWait = sampleRing{}
 	s.compute = sampleRing{}

@@ -38,7 +38,7 @@ func TestEngineStatsCounters(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if _, err := eng.DetectContext(context.Background(), sentences); err != nil {
+			if _, _, err := eng.DetectContext(context.Background(), sentences); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -90,7 +90,7 @@ func TestEngineStatsSurviveSwap(t *testing.T) {
 	}
 	defer reg.Close()
 	eng, _ := reg.route("m")
-	if _, err := eng.DetectContext(context.Background(), []string{"a", "b"}); err != nil {
+	if _, _, err := eng.DetectContext(context.Background(), []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := reg.Swap("m", hashDetector{}); err != nil {

@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+// TestDeterministicSchedule pins the core guarantee: same seed, same faults
+// on the same requests — across separate injector instances and across
+// re-arms of one instance.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(inj *Injector) []string {
+		ts := httptest.NewServer(inj.Wrap(okHandler()))
+		defer ts.Close()
+		inj.Arm()
+		var outcomes []string
+		for k := 0; k < 40; k++ {
+			resp, err := ts.Client().Get(ts.URL + "/v1/detect")
+			if err != nil {
+				outcomes = append(outcomes, "reset")
+				continue
+			}
+			resp.Body.Close()
+			outcomes = append(outcomes, resp.Status)
+		}
+		return outcomes
+	}
+	cfg := Config{Seed: 11, Every: 4, Kinds: []Kind{Error, Reset}, ErrorStatus: 503}
+	a := run(New(cfg))
+	b := run(New(cfg))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	faulted := 0
+	for _, o := range a {
+		if o != "200 OK" {
+			faulted++
+		}
+	}
+	if faulted != 40/4 {
+		t.Fatalf("faulted %d of 40, want every 4th = 10", faulted)
+	}
+
+	// Re-arming one injector replays the same schedule.
+	inj := New(cfg)
+	c := run(inj)
+	d := run(inj) // run() re-arms
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatalf("re-armed schedule diverges at request %d", i)
+		}
+	}
+}
+
+// TestKindsBehave exercises each failure mode's observable behavior.
+func TestKindsBehave(t *testing.T) {
+	t.Run("latency", func(t *testing.T) {
+		inj := New(Config{Seed: 1, Every: 1, Kinds: []Kind{Latency}, Latency: 80 * time.Millisecond})
+		ts := httptest.NewServer(inj.Wrap(okHandler()))
+		defer ts.Close()
+		inj.Arm()
+		start := time.Now()
+		resp, err := ts.Client().Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("latency fault changed status: %d", resp.StatusCode)
+		}
+		if d := time.Since(start); d < 80*time.Millisecond {
+			t.Fatalf("latency fault added only %s", d)
+		}
+		if inj.Counts()[Latency] != 1 {
+			t.Fatalf("counts = %v", inj.Counts())
+		}
+	})
+	t.Run("error", func(t *testing.T) {
+		inj := New(Config{Seed: 1, Every: 1, Kinds: []Kind{Error}, ErrorStatus: 502})
+		ts := httptest.NewServer(inj.Wrap(okHandler()))
+		defer ts.Close()
+		inj.Arm()
+		resp, err := ts.Client().Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 502 {
+			t.Fatalf("error fault status = %d, want 502", resp.StatusCode)
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		inj := New(Config{Seed: 1, Every: 1, Kinds: []Kind{Reset}})
+		ts := httptest.NewServer(inj.Wrap(okHandler()))
+		defer ts.Close()
+		inj.Arm()
+		resp, err := ts.Client().Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatal("reset fault produced an HTTP response, want a transport error")
+		}
+	})
+	t.Run("stall", func(t *testing.T) {
+		inj := New(Config{Seed: 1, Every: 1, Kinds: []Kind{Stall}, Stall: 60 * time.Millisecond})
+		ts := httptest.NewServer(inj.Wrap(okHandler()))
+		defer ts.Close()
+		inj.Arm()
+		start := time.Now()
+		resp, err := ts.Client().Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if time.Since(start) < 60*time.Millisecond || resp.StatusCode != 503 {
+			t.Fatalf("stall fault: %d after %s", resp.StatusCode, time.Since(start))
+		}
+	})
+}
+
+// TestWindowAndPathGate checks that requests outside the armed window or the
+// path prefix pass untouched and do not advance the schedule.
+func TestWindowAndPathGate(t *testing.T) {
+	inj := New(Config{
+		Seed: 2, Every: 1, Kinds: []Kind{Error},
+		Window: Window{Start: 50 * time.Millisecond, End: 150 * time.Millisecond},
+		Path:   "/v1/detect",
+	})
+	ts := httptest.NewServer(inj.Wrap(okHandler()))
+	defer ts.Close()
+	inj.Arm()
+
+	get := func(path string) int {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/v1/detect"); got != 200 {
+		t.Fatalf("pre-window request faulted: %d", got)
+	}
+	time.Sleep(60 * time.Millisecond) // inside the window
+	if got := get("/healthz"); got != 200 {
+		t.Fatalf("off-path request faulted: %d", got)
+	}
+	if got := get("/v1/detect"); got != 503 {
+		t.Fatalf("in-window request not faulted: %d", got)
+	}
+	time.Sleep(120 * time.Millisecond) // past the window
+	if got := get("/v1/detect"); got != 200 {
+		t.Fatalf("post-window request faulted: %d", got)
+	}
+	if unarmed := New(Config{Every: 1, Kinds: []Kind{Error}}); func() int {
+		ts2 := httptest.NewServer(unarmed.Wrap(okHandler()))
+		defer ts2.Close()
+		resp, err := http.Get(ts2.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}() != 200 {
+		t.Fatal("unarmed injector faulted")
+	}
+}
+
+// TestParse covers the flag grammar, round-tripping a full spec and
+// rejecting malformed fields.
+func TestParse(t *testing.T) {
+	cfg, err := Parse("seed=7,every=3,kinds=latency+error,latency=200ms,stall=1s,status=502,window=5s:20s,path=/v1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Every != 3 || len(cfg.Kinds) != 2 ||
+		cfg.Latency != 200*time.Millisecond || cfg.Stall != time.Second ||
+		cfg.ErrorStatus != 502 || cfg.Window.Start != 5*time.Second ||
+		cfg.Window.End != 20*time.Second || cfg.Path != "/v1/" {
+		t.Fatalf("parsed config = %+v", cfg)
+	}
+	for _, bad := range []string{
+		"", "every=0", "kinds=explode", "window=20s:5s", "latency=-1s",
+		"status=200", "seed=x", "nonsense", "wat=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseKindsSubset checks a single-kind palette drives only that kind.
+func TestParseKindsSubset(t *testing.T) {
+	cfg, err := Parse("seed=3,every=1,kinds=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(cfg)
+	ts := httptest.NewServer(inj.Wrap(okHandler()))
+	defer ts.Close()
+	inj.Arm()
+	for k := 0; k < 10; k++ {
+		resp, err := ts.Client().Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Fatalf("request %d status = %d, want every one injected 503", k, resp.StatusCode)
+		}
+	}
+	counts := inj.Counts()
+	if counts[Error] != 10 || inj.Total() != 10 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if strings.Contains(kindNames(), "unknown") {
+		t.Fatal("kindNames leaked an unknown kind")
+	}
+}

@@ -76,6 +76,41 @@ func Prefix(j flowbench.Job, k int) string {
 	return sb.String()
 }
 
+// ParseSentence parses a feature sentence (the Sentence/Prefix format,
+// `<FEAT_1> is <VAL_1> <FEAT_2> is <VAL_2> ...`) back into a Job carrying
+// only the feature vector — the inverse of Sentence up to FormatValue's
+// rendering precision. Metadata (workflow, trace identity, label) does not
+// appear in sentences and stays zero. Features absent from the sentence (a
+// Prefix over k < NumFeatures) are zero; unknown feature names or malformed
+// triples are errors. The brownout tier uses this to score detect-endpoint
+// traffic with the numeric seed baselines.
+func ParseSentence(s string) (flowbench.Job, error) {
+	var j flowbench.Job
+	fields := strings.Fields(s)
+	if len(fields)%3 != 0 {
+		return j, fmt.Errorf("logparse: sentence is not `<feature> is <value>` triples: %q", s)
+	}
+	featIdx := make(map[string]int, flowbench.NumFeatures)
+	for i, n := range flowbench.FeatureNames {
+		featIdx[n] = i
+	}
+	for i := 0; i < len(fields); i += 3 {
+		idx, ok := featIdx[fields[i]]
+		if !ok {
+			return j, fmt.Errorf("logparse: unknown feature %q", fields[i])
+		}
+		if fields[i+1] != "is" {
+			return j, fmt.Errorf("logparse: expected %q after %q, got %q", "is", fields[i], fields[i+1])
+		}
+		v, err := strconv.ParseFloat(fields[i+2], 64)
+		if err != nil {
+			return j, fmt.Errorf("logparse: bad value for %s: %q", fields[i], fields[i+2])
+		}
+		j.Features[idx] = v
+	}
+	return j, nil
+}
+
 // LogLine renders a job as a raw key=value log entry, the format produced by
 // the workflow management system before parsing.
 func LogLine(j flowbench.Job) string {

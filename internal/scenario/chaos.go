@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// chaosPrefix marks a chaos variant of a base scenario: same generated
+// stream (identical events, identical golden hash), perturbed at the
+// transport by a deterministic fault campaign during the middle of the
+// replay.
+const chaosPrefix = "chaos-"
+
+// ChaosName returns the chaos variant name of a base scenario.
+func ChaosName(base string) string { return chaosPrefix + base }
+
+// SplitChaos splits a scenario name into its base scenario and whether it is
+// a chaos variant. "chaos-bursty" replays the "bursty" stream behind a
+// faults.Injector armed with ChaosPlan; "bursty" replays it clean.
+func SplitChaos(name string) (base string, chaos bool) {
+	if strings.HasPrefix(name, chaosPrefix) {
+		return strings.TrimPrefix(name, chaosPrefix), true
+	}
+	return name, false
+}
+
+// ChaosPlan derives the deterministic fault campaign for replaying s at
+// speed. The fault window covers the middle third of the compressed
+// schedule, leaving a clean head to establish the pre-fault baseline and a
+// clean tail to measure recovery — pass the same window as
+// ReplayConfig.FaultWindow so Result.Phases lines up with the campaign.
+//
+// Every 4th detect request inside the window is perturbed, drawn from the
+// latency/error/reset palette. Stall is deliberately left out of the replay
+// palette: its multi-second holds would dominate a seconds-scale lab run;
+// `anomalyd -faults` drills cover it.
+func ChaosPlan(s *Stream, speed float64, seed uint64) faults.Config {
+	if speed <= 0 {
+		speed = 1
+	}
+	d := time.Duration(float64(s.Duration()) / speed)
+	return faults.Config{
+		Seed:    seed ^ nameSeed(ChaosName(s.Name)),
+		Every:   4,
+		Kinds:   []faults.Kind{faults.Latency, faults.Error, faults.Reset},
+		Latency: 80 * time.Millisecond,
+		Window:  faults.Window{Start: d / 3, End: 2 * d / 3},
+		Path:    "/v1/detect",
+	}
+}

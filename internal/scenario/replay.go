@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,8 +13,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/logparse"
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 )
 
 // ReplayConfig tunes how a stream is driven against a server.
@@ -38,6 +41,16 @@ type ReplayConfig struct {
 	// Client overrides the HTTP client (Timeout is applied per request via
 	// context, so a shared client is fine).
 	Client *http.Client
+	// Retry, when set, sends batch requests through the resilience client —
+	// backoff, retry budget, breaker, Retry-After honor — instead of a bare
+	// Client.Do. Its HTTP field defaults to Client. Retried requests count
+	// once in the latency/error tallies (the retries are inside the request).
+	Retry *resilience.Client
+	// FaultWindow, when its End is nonzero, partitions client latencies into
+	// pre/during/post segments by each request's scheduled offset in
+	// compressed (wall-clock) time. Set it to the chaos campaign's window so
+	// Result.Phases shows degradation and recovery separately.
+	FaultWindow faults.Window
 }
 
 func (c *ReplayConfig) fill() {
@@ -56,6 +69,9 @@ func (c *ReplayConfig) fill() {
 	if c.Client == nil {
 		c.Client = http.DefaultClient
 	}
+	if c.Retry != nil && c.Retry.HTTP == nil {
+		c.Retry.HTTP = c.Client
+	}
 }
 
 // Quality bundles the detection-quality metrics of one replay, scored
@@ -72,6 +88,34 @@ type Quality struct {
 	TraceRecall    float64 `json:"trace_recall"`
 }
 
+// Failures is the failure taxonomy of one replay: every failed request is
+// attributed to exactly one bucket, so Timeout+Shed+Server+Transport equals
+// Result.Errors. Under chaos the split is the diagnosis — a shed-heavy run
+// means admission control worked; a transport-heavy one means connections
+// died before the server could answer.
+type Failures struct {
+	// Timeout counts requests that ran out their deadline (client context).
+	Timeout int `json:"timeout"`
+	// Shed counts 429 responses — load the server refused at admission.
+	Shed int `json:"shed"`
+	// Server counts other non-200 HTTP statuses (5xx and stray 4xx).
+	Server int `json:"server"`
+	// Transport counts connection-level failures: resets, refused dials.
+	Transport int `json:"transport"`
+}
+
+// Total is the summed failure count across all buckets.
+func (f Failures) Total() int { return f.Timeout + f.Shed + f.Server + f.Transport }
+
+// PhaseLatencies are client p99 latencies partitioned by the fault window:
+// before it opens, while it is active, and after it closes. Recovery is the
+// post/pre ratio the chaos gate bounds.
+type PhaseLatencies struct {
+	PreP99Ms    float64 `json:"pre_p99_ms"`
+	DuringP99Ms float64 `json:"during_p99_ms"`
+	PostP99Ms   float64 `json:"post_p99_ms"`
+}
+
 // Result is one scenario replay's measurements.
 type Result struct {
 	Scenario    string
@@ -83,6 +127,14 @@ type Result struct {
 	// Client-side round-trip latency percentiles per request.
 	ClientP50Ms float64
 	ClientP99Ms float64
+	// Failures splits Errors by cause.
+	Failures Failures
+	// DegradedReqs counts requests answered by the brownout fallback
+	// (degraded:true in the batch response).
+	DegradedReqs int
+	// Phases is set when ReplayConfig.FaultWindow was given: p99 before,
+	// during, and after the fault window.
+	Phases *PhaseLatencies
 	// Server is the model's serving-stats snapshot after the replay (stats
 	// are reset before it starts): queue saturation and stage latencies.
 	Server  core.EngineStats
@@ -130,6 +182,8 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 	okEv := make([]bool, len(s.Events))
 	latencies := make([]float64, len(reqs))
 	reqOK := make([]bool, len(reqs))
+	reqFail := make([]failKind, len(reqs))
+	reqDegraded := make([]bool, len(reqs))
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -157,13 +211,15 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 				sentences[k] = logparse.Sentence(s.Events[rq.first+k].Job)
 			}
 			t0 := time.Now()
-			results, err := postBatch(ctx, cfg, sentences)
+			br, err := postBatch(ctx, cfg, sentences)
 			latencies[ri] = float64(time.Since(t0)) / float64(time.Millisecond)
-			if err != nil || len(results) != rq.n {
+			if err != nil || len(br.Results) != rq.n {
+				reqFail[ri] = classifyFailure(err)
 				return
 			}
 			reqOK[ri] = true
-			for k, res := range results {
+			reqDegraded[ri] = br.Degraded
+			for k, res := range br.Results {
 				scores[rq.first+k] = res.Score
 				preds[rq.first+k] = res.Label
 				okEv[rq.first+k] = true
@@ -190,9 +246,40 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 			samples = append(samples, sample{label: ev.Job.Label, pred: preds[i], trace: ev.Job.TraceID, score: scores[i]})
 		}
 	}
-	for _, ok := range reqOK {
+	for ri, ok := range reqOK {
 		if !ok {
 			res.Errors++
+			switch reqFail[ri] {
+			case failTimeout:
+				res.Failures.Timeout++
+			case failShed:
+				res.Failures.Shed++
+			case failServer:
+				res.Failures.Server++
+			default:
+				res.Failures.Transport++
+			}
+		} else if reqDegraded[ri] {
+			res.DegradedReqs++
+		}
+	}
+	if w := cfg.FaultWindow; w.End > 0 {
+		var pre, during, post []float64
+		for ri, rq := range reqs {
+			sched := time.Duration(float64(rq.at) / cfg.Speed)
+			switch {
+			case sched < w.Start:
+				pre = append(pre, latencies[ri])
+			case sched < w.End:
+				during = append(during, latencies[ri])
+			default:
+				post = append(post, latencies[ri])
+			}
+		}
+		res.Phases = &PhaseLatencies{
+			PreP99Ms:    metrics.Percentile(pre, 0.99),
+			DuringP99Ms: metrics.Percentile(during, 0.99),
+			PostP99Ms:   metrics.Percentile(post, 0.99),
 		}
 	}
 	res.Quality = qualityOf(samples, cfg.Policy)
@@ -346,33 +433,76 @@ func modelQuery(model string) string {
 	return "?model=" + model
 }
 
-// postBatch sends one /v1/detect/batch request and decodes its results.
-func postBatch(ctx context.Context, cfg ReplayConfig, sentences []string) ([]core.DetectResponse, error) {
+// failKind buckets one request failure for the Failures taxonomy.
+type failKind int
+
+const (
+	failTransport failKind = iota // connection-level: reset, refused, EOF
+	failTimeout                   // client deadline expired
+	failShed                      // HTTP 429
+	failServer                    // other non-200 HTTP status
+)
+
+// statusError is a non-200 batch response, kept typed so the replay can
+// attribute it to the right Failures bucket.
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return fmt.Sprintf("scenario: batch status %d", e.code) }
+
+// classifyFailure maps a postBatch error to its taxonomy bucket. A decode
+// error or short result set (err == nil path) counts as a server failure:
+// the server answered, but wrongly.
+func classifyFailure(err error) failKind {
+	if err == nil {
+		return failServer
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		if se.code == http.StatusTooManyRequests {
+			return failShed
+		}
+		return failServer
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return failTimeout
+	}
+	return failTransport
+}
+
+// postBatch sends one /v1/detect/batch request and decodes the response.
+// With cfg.Retry set the request goes through the resilience client, so
+// shed and transient failures are retried inside this call.
+func postBatch(ctx context.Context, cfg ReplayConfig, sentences []string) (core.BatchResponse, error) {
+	var br core.BatchResponse
 	body, err := json.Marshal(core.BatchRequest{Sentences: sentences})
 	if err != nil {
-		return nil, err
+		return br, err
 	}
 	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, cfg.BaseURL+"/v1/detect/batch"+modelQuery(cfg.Model), bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return br, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := cfg.Client.Do(req)
+	var resp *http.Response
+	if cfg.Retry != nil {
+		resp, err = cfg.Retry.Do(req)
+	} else {
+		resp, err = cfg.Client.Do(req)
+	}
 	if err != nil {
-		return nil, err
+		return br, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("scenario: batch status %d", resp.StatusCode)
+		return br, &statusError{code: resp.StatusCode}
 	}
-	var br core.BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return nil, err
+		return br, err
 	}
-	return br.Results, nil
+	return br, nil
 }
 
 // resetServerStats zeroes the target model's serving counters so the final

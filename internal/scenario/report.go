@@ -82,7 +82,7 @@ func (r *Result) Entry(detector string) BenchEntry {
 	if r.Events > 0 {
 		nsPerLine = r.WallSeconds * 1e9 / float64(r.Events)
 	}
-	return BenchEntry{
+	e := BenchEntry{
 		Name:    fmt.Sprintf("LoadLab/%s/%s", r.Scenario, detector),
 		NsPerOp: nsPerLine,
 		Extra: map[string]float64{
@@ -105,6 +105,25 @@ func (r *Result) Entry(detector string) BenchEntry {
 			"trace_f1":          r.Quality.TraceF1,
 		},
 	}
+	// Overload and chaos columns appear only on runs that exercised them, so
+	// clean rows keep their historical shape and diff cleanly against old
+	// BENCH files.
+	if r.Errors > 0 || r.DegradedReqs > 0 || r.Server.Shed+r.Server.Expired+r.Server.Degraded > 0 {
+		e.Extra["err_timeout"] = float64(r.Failures.Timeout)
+		e.Extra["err_shed"] = float64(r.Failures.Shed)
+		e.Extra["err_server"] = float64(r.Failures.Server)
+		e.Extra["err_transport"] = float64(r.Failures.Transport)
+		e.Extra["degraded_reqs"] = float64(r.DegradedReqs)
+		e.Extra["server_shed"] = float64(r.Server.Shed)
+		e.Extra["server_expired"] = float64(r.Server.Expired)
+		e.Extra["server_degraded"] = float64(r.Server.Degraded)
+	}
+	if r.Phases != nil {
+		e.Extra["pre_p99_ms"] = r.Phases.PreP99Ms
+		e.Extra["during_p99_ms"] = r.Phases.DuringP99Ms
+		e.Extra["post_p99_ms"] = r.Phases.PostP99Ms
+	}
+	return e
 }
 
 // Entry converts a monitor-replay result into its report row.

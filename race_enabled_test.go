@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this binary runs under the race detector, whose
+// ~10x slowdown makes wall-clock latency bounds meaningless.
+const raceEnabled = true
