@@ -32,9 +32,9 @@ SCENARIO_OUT := BENCH_6.json
 # p99. chaos-smoke is the seconds-scale CI subset.
 CHAOS_OUT := BENCH_7.json
 
-.PHONY: check fmt vet build test bench bench-all bench-scenarios loadlab-smoke bench-chaos chaos-smoke
+.PHONY: check fmt vet build test lint fuzz-smoke bench bench-all bench-scenarios loadlab-smoke bench-chaos chaos-smoke
 
-check: fmt vet build test
+check: fmt vet build test lint
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -50,6 +50,26 @@ build:
 
 test:
 	$(GO) test ./...
+
+# lint runs reprolint, the repo's own go/analysis suite (internal/lint):
+# determinism, hotalloc, locksafe, and ctxflow over every package. The
+# binary is built once into bin/ and reused; see docs/STATIC_ANALYSIS.md
+# for the analyzer catalog and the //lint:ignore suppression policy.
+lint:
+	@mkdir -p bin
+	@$(GO) build -o bin/reprolint ./cmd/reprolint
+	bin/reprolint ./...
+
+# fuzz-smoke gives each native fuzz target a short budget — enough to catch
+# parser regressions on the corpus frontier without CI-scale fuzzing time.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/tokenizer -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/faults -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logparse -run '^$$' -fuzz '^FuzzParseSentence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logparse -run '^$$' -fuzz '^FuzzParseLogLine$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logparse -run '^$$' -fuzz '^FuzzParseCSVRow$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzLoadDetector$$' -fuzztime $(FUZZTIME)
 
 # bench runs the kernel and serving benchmarks with allocation reporting and
 # records ns/op, B/op, allocs/op to $(BENCH_OUT) — the repo's perf

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBinarySmoke builds the multichecker and runs it the way make lint
+// does: -list must name every analyzer, and a known-clean package must exit
+// zero.
+func TestBinarySmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "reprolint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building reprolint: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("reprolint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"determinism", "hotalloc", "locksafe", "ctxflow"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("reprolint -list output missing %q:\n%s", name, out)
+		}
+	}
+	if out, err := exec.Command(bin, "repro/internal/resilience").CombinedOutput(); err != nil {
+		t.Fatalf("reprolint repro/internal/resilience: %v\n%s", err, out)
+	}
+}

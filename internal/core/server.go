@@ -296,6 +296,7 @@ func (s *Server) CloseStreams() {
 // blocking until their results are ready (in input order). It is the
 // programmatic form of the HTTP endpoints and is safe for concurrent use.
 func (s *Server) Detect(sentences []string) ([]Result, error) {
+	//lint:ignore ctxflow public no-context convenience API; documented to run to completion, callers needing cancellation use DetectContext
 	return s.DetectModelContext(context.Background(), "", sentences)
 }
 

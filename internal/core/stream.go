@@ -387,6 +387,7 @@ type monitorChunk struct {
 // This is the paper's real-time detection loop (Section IV-C) in library
 // form: the workflow management system appends to a log, Monitor tails it.
 func Monitor(d Detector, r io.Reader, onAlert func(Alert)) (MonitorReport, error) {
+	//lint:ignore ctxflow public no-context convenience API; the paper's library-form loop, callers needing cancellation use MonitorWith
 	return MonitorWith(context.Background(), d, r, MonitorConfig{
 		Sinks: []AlertSink{SinkFuncs{OnAlert: onAlert}},
 	})

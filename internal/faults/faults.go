@@ -98,6 +98,12 @@ func (c *Config) fill() {
 type Injector struct {
 	cfg Config
 
+	// now is the injector's clock, injectable so tests can drive the
+	// campaign window deterministically. Production uses the wall clock:
+	// `anomalyd -faults` windows are real-time by definition, while the
+	// request-count schedule (Every, kinds) stays purely seed-driven.
+	now func() time.Time
+
 	mu      sync.Mutex
 	rng     *tensor.RNG
 	armedAt time.Time
@@ -110,7 +116,9 @@ type Injector struct {
 func New(cfg Config) *Injector {
 	cfg.fill()
 	return &Injector{
-		cfg:    cfg,
+		cfg: cfg,
+		//lint:ignore determinism injectable clock's production default; the fault window is real-time, tests inject a fake
+		now:    time.Now,
 		rng:    tensor.NewRNG(cfg.Seed ^ 0xfa017),
 		counts: make(map[Kind]int64),
 	}
@@ -122,7 +130,7 @@ func New(cfg Config) *Injector {
 func (i *Injector) Arm() {
 	i.mu.Lock()
 	i.armed = true
-	i.armedAt = time.Now()
+	i.armedAt = i.now()
 	i.seen = 0
 	i.counts = make(map[Kind]int64)
 	i.rng = tensor.NewRNG(i.cfg.Seed ^ 0xfa017)
@@ -170,7 +178,7 @@ func (i *Injector) decide(path string) (Kind, bool) {
 	if !i.armed {
 		return "", false
 	}
-	since := time.Since(i.armedAt)
+	since := i.now().Sub(i.armedAt)
 	if since < i.cfg.Window.Start {
 		return "", false
 	}

@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse drives the -faults flag grammar with arbitrary specs. A spec
+// either errors or yields a config whose filled form satisfies the
+// invariants the injector assumes (positive periods, sane status, ordered
+// window) — decide() divides by Every and trusts these without rechecking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"seed=7,every=5,kinds=latency+error,latency=200ms,stall=1s,status=503,window=5s:20s,path=/v1/",
+		"every=1",
+		"kinds=reset",
+		"kinds=latency+latency+stall",
+		"window=0s:0s",
+		"window=1h:90m",
+		"seed=18446744073709551615",
+		"every=-3",
+		"latency=xx",
+		"seed=,",
+		"=",
+		",",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		cfg.fill()
+		if cfg.Every < 1 {
+			t.Fatalf("parsed spec %q filled to Every=%d", spec, cfg.Every)
+		}
+		if cfg.Latency <= 0 || cfg.Stall <= 0 {
+			t.Fatalf("parsed spec %q filled to latency=%v stall=%v", spec, cfg.Latency, cfg.Stall)
+		}
+		if cfg.ErrorStatus < 400 || cfg.ErrorStatus > 599 {
+			t.Fatalf("parsed spec %q filled to status=%d", spec, cfg.ErrorStatus)
+		}
+		if cfg.Window.End != 0 && cfg.Window.End <= cfg.Window.Start {
+			t.Fatalf("parsed spec %q has inverted window %v", spec, cfg.Window)
+		}
+		if len(cfg.Kinds) == 0 {
+			t.Fatalf("parsed spec %q filled to no kinds", spec)
+		}
+		// The injector built from an accepted spec must schedule
+		// deterministically: two injectors from the same config decide the
+		// same fates.
+		a, b := New(cfg), New(cfg)
+		a.now = func() time.Time { return time.Unix(10, 0) }
+		b.now = a.now
+		a.Arm()
+		b.Arm()
+		for i := 0; i < 16; i++ {
+			ka, oka := a.decide("/v1/detect")
+			kb, okb := b.decide("/v1/detect")
+			if ka != kb || oka != okb {
+				t.Fatalf("spec %q: decision %d diverged: (%v,%v) vs (%v,%v)", spec, i, ka, oka, kb, okb)
+			}
+		}
+	})
+}

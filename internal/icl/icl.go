@@ -179,7 +179,9 @@ func (d *Detector) ClassifyBatchCachedWS(pc *PromptCache, queries []string, ws *
 	if len(queries) == 0 {
 		return nil, nil
 	}
+	//lint:ignore hotalloc returned to the caller; results must outlive the workspace's next Reset
 	labels := make([]int, len(queries))
+	//lint:ignore hotalloc returned to the caller; results must outlive the workspace's next Reset
 	out := make([][2]float32, len(queries))
 	var cachedIdx, fullIdx []int
 	var suffixes, fullPrompts [][]int
@@ -194,6 +196,7 @@ func (d *Detector) ClassifyBatchCachedWS(pc *PromptCache, queries []string, ws *
 		}
 		fullIdx = append(fullIdx, i)
 		p := prompt.FewShot(pc.examples, q)
+		//lint:ignore hotalloc full-prompt fallback, taken only when the prefix cache cannot serve the query
 		fullPrompts = append(fullPrompts, append([]int{tokenizer.BOS}, d.Tok.Encode(p, false)...))
 	}
 	if len(suffixes) > 0 {

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxflowAnalyzer enforces context discipline on the serving request paths
+// in internal/core: cancellation must flow from the incoming request to the
+// detection kernels (PR 3 made every inference call context-aware precisely
+// so an abandoned request stops computing).
+//
+// In request-path packages it reports:
+//   - any call to context.Background() or context.TODO(): a request path
+//     never manufactures a root context — roots belong to main() and tests.
+//     Convenience wrappers that intentionally provide one carry a justified
+//     suppression.
+//   - HTTP handlers (func(w http.ResponseWriter, r *http.Request)) that
+//     invoke a detection or monitoring call (method name Detect*/Monitor*)
+//     without referencing r.Context() anywhere in the handler body —
+//     the shape that silently severs cancellation.
+//
+// A package opts in by being repro/internal/core or by carrying a
+// `//repro:requestpath` comment in any file.
+var CtxflowAnalyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid root contexts and unthreaded r.Context() on internal/core request paths",
+	Run:  runCtxflow,
+}
+
+var requestPathPkgs = map[string]bool{
+	"repro/internal/core": true,
+}
+
+var detectCallRe = regexp.MustCompile(`^(Detect|Monitor)`)
+
+func runCtxflow(pass *analysis.Pass) error {
+	if !pkgDeclaredBy(pass, requestPathPkgs, "//repro:requestpath") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || funcPkgPath(fn) != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s() manufactures a root context on a request path; thread the caller's ctx (or r.Context()) instead", fn.Name())
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHandler(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHandler flags HTTP handlers that call into detection without ever
+// touching r.Context().
+func checkHandler(pass *analysis.Pass, fd *ast.FuncDecl) {
+	reqParam := handlerRequestParam(pass, fd)
+	if reqParam == nil {
+		return
+	}
+	var detectCall *ast.CallExpr
+	usesReqContext := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Context" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == reqParam {
+				usesReqContext = true
+			}
+		}
+		if detectCall == nil && detectCallRe.MatchString(sel.Sel.Name) {
+			detectCall = call
+		}
+		return true
+	})
+	if detectCall != nil && !usesReqContext {
+		pass.Reportf(detectCall.Pos(), "handler %s calls detection without threading r.Context(); an abandoned request will keep computing", fd.Name.Name)
+	}
+}
+
+// handlerRequestParam returns the *http.Request parameter object of an HTTP
+// handler signature (w http.ResponseWriter, r *http.Request), or nil.
+func handlerRequestParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 2 {
+		return nil
+	}
+	wt := pass.TypesInfo.TypeOf(params.List[0].Type)
+	rt := pass.TypesInfo.TypeOf(params.List[1].Type)
+	if wt == nil || rt == nil {
+		return nil
+	}
+	if !isNamedType(wt, false, "http", "ResponseWriter") || !isNamedType(rt, true, "http", "Request") {
+		return nil
+	}
+	if len(params.List[1].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(params.List[1].Names[0])
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// DeterminismAnalyzer enforces the bit-reproducibility contract of
+// docs/SCENARIOS.md on the declared-deterministic packages: every scenario,
+// fault campaign, benchmark stream, and retry schedule must be a pure
+// function of its seed.
+//
+// In those packages it reports:
+//   - any use of time.Now, time.Since, or time.Until (wall-clock reads;
+//     inject a clock or take timestamps as arguments),
+//   - any import of math/rand or math/rand/v2 (all randomness flows through
+//     tensor.RNG so streams are splittable and seeded),
+//   - any `range` over a map whose body appends to a slice declared outside
+//     the loop, or writes output, with no later sort of that slice in the
+//     same function (map iteration order leaks into results — the exact bug
+//     class the scenario golden hashes catch only dynamically).
+//
+// A package opts in by being listed in deterministicPkgs or by carrying a
+// `//repro:deterministic` comment in any file.
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, math/rand, and map-order-dependent output in declared-deterministic packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs are the packages whose outputs are pinned by golden
+// hashes or seed-replay tests (docs/SCENARIOS.md, docs/RELIABILITY.md).
+var deterministicPkgs = map[string]bool{
+	"repro/internal/scenario":   true,
+	"repro/internal/faults":     true,
+	"repro/internal/flowbench":  true,
+	"repro/internal/tensor":     true,
+	"repro/internal/resilience": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !pkgDeclaredBy(pass, deterministicPkgs, "//repro:deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Imports of math/rand: the repo's contract is that every random
+		// draw flows through a seeded, splittable tensor.RNG.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in declared-deterministic package; draw randomness from a seeded tensor.RNG instead", path)
+			}
+		}
+		// Wall-clock reads, including time.Now used as a function value.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || funcPkgPath(fn) != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a declared-deterministic package; inject a clock or pass timestamps in", fn.Name())
+			return true
+		})
+		// Map-order-dependent output.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrder(pass, fd)
+		}
+	}
+	return nil
+}
+
+// orderedWriters are methods/functions whose invocation inside a map-range
+// body emits output in iteration order.
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// checkMapOrder flags range-over-map loops in fd whose iteration order can
+// reach an output: appends to an outer slice that is never subsequently
+// sorted, or direct writes from inside the loop body.
+func checkMapOrder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		// Writes inside the body emit in map order no matter what happens
+		// later.
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			if orderedWriteMethods[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil {
+				pass.Reportf(call.Pos(), "write inside range over map emits in nondeterministic iteration order; collect and sort first")
+				return true
+			}
+			if funcPkgPath(fn) == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s inside range over map emits in nondeterministic iteration order; collect and sort first", fn.Name())
+			}
+			return true
+		})
+
+		// Appends to outer slices must be followed by a sort of that slice
+		// somewhere later in the function.
+		for _, target := range outerAppendTargets(pass, rs) {
+			if !sortedAfter(pass, fd, rs, target) {
+				pass.Reportf(rs.Pos(), "range over map appends to %q in nondeterministic iteration order with no later sort; sort %q before it is used", target.Name(), target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// outerAppendTargets returns the objects of variables declared outside rs
+// that the loop body appends to.
+func outerAppendTargets(pass *analysis.Pass, rs *ast.RangeStmt) []types.Object {
+	var targets []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(lhs)
+			// Declared before the loop means the slice outlives it.
+			if obj != nil && obj.Pos() < rs.Pos() && !seen[obj] {
+				seen[obj] = true
+				targets = append(targets, obj)
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// sortedAfter reports whether fd contains, after the range statement, a call
+// into sort or slices that mentions target — the sanctioned
+// collect-then-sort pattern.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		if p := funcPkgPath(fn); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, target) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

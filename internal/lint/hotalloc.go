@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// HotallocAnalyzer extends the zero-allocation discipline of
+// docs/PERFORMANCE.md from the handful of AllocsPerRun-benched functions to
+// every function on the hot path. A function is hot when it takes a
+// *tensor.Workspace parameter (the arena contract: scratch comes from the
+// workspace, not the heap) or when its doc comment carries a
+// `//repro:hotpath` line.
+//
+// Inside a hot function it reports the allocating constructs Go cannot hide:
+// make, new, slice/map composite literals, &composite (escaping), string
+// concatenation, string<->[]byte/[]rune conversions, closures, calls into
+// known-allocating stdlib formatters (fmt.Sprintf and friends, errors.New,
+// strconv, strings.Join/Repeat), and interface boxing of non-pointer values
+// at call sites.
+//
+// Methods of tensor.Workspace itself are exempt: the workspace is where
+// amortized growth is supposed to live. The nil-workspace fallback paths the
+// arena contract documents go through tensor constructors (NewMatrix,
+// Workspace.Get), which this analyzer deliberately does not flag — the
+// discipline is about per-call allocation in the caller, not the arena's own
+// growth.
+var HotallocAnalyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs in hot-path functions (those taking *tensor.Workspace or marked //repro:hotpath)",
+	Run:  runHotalloc,
+}
+
+// allocFuncs are stdlib calls that always allocate their result.
+var allocFuncs = map[string]map[string]bool{
+	"fmt":     {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": false},
+	"errors":  {"New": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true, "FormatBool": true, "Quote": true},
+	"strings": {"Join": true, "Repeat": true, "ToUpper": true, "ToLower": true},
+}
+
+func runHotalloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			why, hot := hotReason(pass, fd)
+			if !hot {
+				continue
+			}
+			checkHotBody(pass, fd, why)
+		}
+	}
+	return nil
+}
+
+// hotReason reports whether fd is on the declared hot path and why.
+func hotReason(pass *analysis.Pass, fd *ast.FuncDecl) (string, bool) {
+	if declHasDirective(fd.Doc, "//repro:hotpath") {
+		return "marked //repro:hotpath", true
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t != nil && isNamedType(t, true, "tensor", "Workspace") {
+			return "takes *tensor.Workspace", true
+		}
+	}
+	return "", false
+}
+
+// checkHotBody walks one hot function and reports allocating constructs.
+// Arguments of panic() calls are exempt: building a panic message allocates
+// only on the path that aborts the program, which is never the hot path.
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl, why string) {
+	// Workspace methods are the arena itself; their amortized growth is the
+	// design.
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type); t != nil && isNamedType(t, true, "tensor", "Workspace") {
+			return
+		}
+	}
+	panicArgs := panicArgRanges(pass, fd.Body)
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicArgs {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n != nil && inPanic(n.Pos()) {
+			return false
+		}
+		return checkHotNode(pass, fd, n, why)
+	})
+}
+
+// panicArgRanges returns the position ranges of every panic() argument list
+// in body.
+func panicArgRanges(pass *analysis.Pass, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if len(call.Args) > 0 {
+			out = append(out, [2]token.Pos{call.Args[0].Pos(), call.Rparen})
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotNode reports the allocating construct n represents, if any, and
+// reports whether the walk should descend into n.
+func checkHotNode(pass *analysis.Pass, fd *ast.FuncDecl, n ast.Node, why string) bool {
+	switch e := n.(type) {
+	case *ast.CallExpr:
+		checkHotCall(pass, fd, e, why)
+	case *ast.CompositeLit:
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			break
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			pass.Reportf(e.Pos(), "slice literal allocates in hot-path function %s (%s)", fd.Name.Name, why)
+		case *types.Map:
+			pass.Reportf(e.Pos(), "map literal allocates in hot-path function %s (%s)", fd.Name.Name, why)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				pass.Reportf(e.Pos(), "&composite literal escapes to the heap in hot-path function %s (%s)", fd.Name.Name, why)
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && isStringExpr(pass, e) && !isConstExpr(pass, e) {
+			pass.Reportf(e.Pos(), "string concatenation allocates in hot-path function %s (%s)", fd.Name.Name, why)
+		}
+	case *ast.AssignStmt:
+		if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringExpr(pass, e.Lhs[0]) {
+			pass.Reportf(e.Pos(), "string += allocates in hot-path function %s (%s)", fd.Name.Name, why)
+		}
+	case *ast.FuncLit:
+		pass.Reportf(e.Pos(), "closure allocates in hot-path function %s (%s)", fd.Name.Name, why)
+	}
+	return true
+}
+
+// checkHotCall reports allocation at one call site: make/new, allocating
+// stdlib helpers, string conversions, and interface boxing of arguments.
+func checkHotCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, why string) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot-path function %s (%s); draw from the workspace", fd.Name.Name, why)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hot-path function %s (%s); draw from the workspace", fd.Name.Name, why)
+			}
+			return
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if convAllocates(pass, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "string/byte-slice conversion copies in hot-path function %s (%s)", fd.Name.Name, why)
+		}
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn != nil {
+		if names, ok := allocFuncs[funcPkgPath(fn)]; ok && names[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s allocates in hot-path function %s (%s)", fn.Pkg().Name(), fn.Name(), fd.Name.Name, why)
+			return
+		}
+	}
+	// Interface boxing: a concrete non-pointer argument passed to an
+	// interface parameter allocates an interface header.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isPointerLike(at) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in hot-path function %s (%s)", at, pt, fd.Name.Name, why)
+	}
+}
+
+// convAllocates reports whether converting arg to dst copies memory:
+// string <-> []byte/[]rune in either direction.
+func convAllocates(pass *analysis.Pass, dst types.Type, arg ast.Expr) bool {
+	src := pass.TypesInfo.TypeOf(arg)
+	if src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStr(src))
+}
+
+func isStringExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isPointerLike reports whether values of t fit in an interface's data word
+// without allocating.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}

@@ -1,0 +1,85 @@
+// Package lint is reprolint: the repository's static-analysis suite. It
+// turns the invariants that earlier PRs could only state in prose and spot
+// tests into compile-time diagnostics:
+//
+//   - determinism: declared-deterministic packages draw no wall-clock time,
+//     no math/rand, and never let map iteration order reach an output
+//     (docs/SCENARIOS.md).
+//   - hotalloc: functions on the zero-allocation hot path (any function
+//     taking a *tensor.Workspace, or marked //repro:hotpath) contain no
+//     allocating constructs (docs/PERFORMANCE.md).
+//   - locksafe: no blocking operation is reachable while a sync.Mutex or
+//     RWMutex is held (docs/RELIABILITY.md).
+//   - ctxflow: request paths in internal/core never manufacture root
+//     contexts, and HTTP handlers thread r.Context() into detection calls.
+//
+// See docs/STATIC_ANALYSIS.md for the catalog, the suppression policy, and
+// how to add an analyzer. The cmd/reprolint binary (make lint) runs the
+// suite over ./....
+package lint
+
+import (
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Analyzers returns the reprolint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DeterminismAnalyzer,
+		HotallocAnalyzer,
+		LocksafeAnalyzer,
+		CtxflowAnalyzer,
+	}
+}
+
+// Run loads patterns and applies analyzers to every matched package,
+// returning the surviving diagnostics (suppressions applied) sorted by
+// position. A nil analyzers slice means the full suite.
+func Run(analyzers []*analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, error) {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	pkgs, err := load.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunPackage applies analyzers to one loaded package and filters the result
+// through the package's //lint:ignore directives.
+func RunPackage(analyzers []*analysis.Analyzer, pkg *load.Package) ([]analysis.Diagnostic, error) {
+	diags, err := analysis.Run(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyIgnores(pkg.Fset, pkg.Files, diags), nil
+}
+
+func sortDiagnostics(diags []analysis.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

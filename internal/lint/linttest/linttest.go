@@ -1,0 +1,229 @@
+// Package linttest is the repo's offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture package
+// from a testdata/src tree, runs one reprolint analyzer through the full
+// pipeline — including //lint:ignore suppression — and checks the reported
+// diagnostics against `// want "regex"` comments in the fixture source.
+//
+// Fixture layout mirrors analysistest's GOPATH convention:
+//
+//	testdata/src/<pkg>/...go        the package under test
+//	testdata/src/<dep>/...go        fake local dependencies (e.g. a stub
+//	                                tensor package defining Workspace)
+//
+// Imports resolve first against testdata/src (so fixtures can stand in for
+// repo packages), then against the real standard library via compiler
+// export data, so fixtures may import time, sync, context, net/http, ...
+// freely.
+//
+// Expectations: a comment `// want "re"` (several per line allowed) asserts
+// that the analyzer reports, on that line, one diagnostic per pattern whose
+// message matches the regexp. Lines without want comments must produce no
+// diagnostics. Suppressed findings count as absent — which is how the
+// suppression fixtures assert the escape hatch works.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run loads testdata/src/<pkg> and checks analyzer a's diagnostics against
+// the fixture's want comments. testdata is the path to the testdata
+// directory (usually "testdata" relative to the test).
+func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	imp := newFixtureImporter(srcRoot, fset)
+	files, tpkg, info, err := imp.checkDir(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, tpkg, info)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkg, err)
+	}
+	diags = lint.ApplyIgnores(fset, files, diags)
+
+	checkWants(t, fset, files, diags)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe matches both comment forms: `// want "re"` and, for lines whose
+// trailing comment slot is taken by a lint:ignore directive under test,
+// `/* want "re" */`.
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)$`)
+
+// checkWants matches diagnostics against // want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted strings from a want comment tail.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		rest := s[i:]
+		// Find the end of this Go-quoted string by trying successively
+		// longer prefixes.
+		for j := 2; j <= len(rest); j++ {
+			if q, err := strconv.Unquote(rest[:j]); err == nil {
+				out = append(out, q)
+				s = rest[j:]
+				break
+			}
+			if j == len(rest) {
+				return out
+			}
+		}
+	}
+}
+
+// fixtureImporter resolves fixture-local packages from testdata/src and
+// everything else from the real standard library's export data.
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	memo    map[string]*types.Package
+	std     types.Importer
+	stdErr  error
+	stdOnce bool
+}
+
+func newFixtureImporter(srcRoot string, fset *token.FileSet) *fixtureImporter {
+	return &fixtureImporter{srcRoot: srcRoot, fset: fset, memo: make(map[string]*types.Package)}
+}
+
+// Import implements types.Importer.
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.memo[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(im.srcRoot, path); isDir(dir) {
+		_, tpkg, _, err := im.checkDir(path)
+		if err != nil {
+			return nil, err
+		}
+		return tpkg, nil
+	}
+	std, err := im.stdImporter()
+	if err != nil {
+		return nil, err
+	}
+	return std.Import(path)
+}
+
+// checkDir parses and type-checks the fixture package in srcRoot/path.
+func (im *fixtureImporter) checkDir(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(im.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: im, Error: func(error) {}}
+	tpkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	im.memo[path] = tpkg
+	return files, tpkg, info, nil
+}
+
+// stdImporter lazily builds the export-data importer for the standard
+// library: one `go list -export -deps -json std` enumerates export files for
+// every stdlib package.
+func (im *fixtureImporter) stdImporter() (types.Importer, error) {
+	if im.stdOnce {
+		return im.std, im.stdErr
+	}
+	im.stdOnce = true
+	exports, err := load.StdExports()
+	if err != nil {
+		im.stdErr = err
+		return nil, err
+	}
+	im.std = load.ExportImporter(im.fset, exports)
+	return im.std, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// LocksafeAnalyzer enforces the non-blocking-under-lock discipline of
+// docs/RELIABILITY.md across every package: while a sync.Mutex or
+// sync.RWMutex is held, nothing on the path may wait on the outside world.
+// The SSE alert bus is the canonical positive example — it publishes under
+// its subscriber lock only through a select with a default, dropping rather
+// than stalling; this analyzer makes that shape the law.
+//
+// While a lock is held it reports:
+//   - channel sends and receives (and selects with no default clause),
+//   - time.Sleep,
+//   - sync.WaitGroup.Wait and sync.Cond.Wait,
+//   - known-blocking I/O calls: net dials/listens/reads, net/http client
+//     requests and response writes, os file open/read/write, io.Copy and
+//     friends, bufio flush/scan, os/exec runs.
+//
+// The tracking is lexical and intraprocedural: Lock() opens a region,
+// Unlock() closes it, `defer Unlock()` holds it to the end of the function,
+// and branches are analyzed with a copy of the held set. Calls into other
+// functions that themselves block, and goroutine or deferred closures, are
+// out of scope (the escape hatch plus the race-enabled e2e cover those).
+var LocksafeAnalyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "forbid blocking operations (channel ops without default, sleeps, I/O) while a sync mutex is held",
+	Run:  runLocksafe,
+}
+
+// blockingCalls maps package path -> function/method name for calls that can
+// block on the scheduler, disk, or network.
+var blockingCalls = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"sync": {"Wait": true}, // WaitGroup.Wait, Cond.Wait
+	"net": {
+		"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+		"Listen": true, "ListenTCP": true, "ListenUDP": true, "ListenPacket": true,
+		"LookupHost": true, "LookupAddr": true, "LookupIP": true,
+		"Accept": true, "Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	},
+	"net/http": {
+		"Get": true, "Post": true, "PostForm": true, "Head": true,
+		"Do": true, "Write": true, "ReadRequest": true, "ReadResponse": true,
+	},
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "ReadFile": true,
+		"WriteFile": true, "ReadDir": true, "Remove": true, "RemoveAll": true,
+		"Rename": true, "Mkdir": true, "MkdirAll": true,
+		"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+		"WriteString": true, "Sync": true,
+	},
+	"io":      {"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true, "ReadFull": true},
+	"bufio":   {"Flush": true, "Scan": true, "ReadString": true, "ReadBytes": true, "ReadLine": true},
+	"os/exec": {"Run": true, "Output": true, "CombinedOutput": true, "Wait": true, "Start": true},
+}
+
+func runLocksafe(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, held: make(map[string]token.Pos)}
+			w.stmt(fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockWalker tracks which mutexes are held at each statement, lexically.
+type lockWalker struct {
+	pass *analysis.Pass
+	// held maps a mutex expression (rendered source, e.g. "t.mu") to the
+	// position of the Lock call that acquired it.
+	held map[string]token.Pos
+}
+
+// fork returns a walker with a copy of the held set, for analyzing branches
+// independently.
+func (w *lockWalker) fork() *lockWalker {
+	h := make(map[string]token.Pos, len(w.held))
+	for k, v := range w.held {
+		h[k] = v
+	}
+	return &lockWalker{pass: w.pass, held: h}
+}
+
+// anyHeld returns one held mutex's name and lock position (map order does
+// not matter for correctness: any held lock justifies the diagnostic).
+func (w *lockWalker) anyHeld() (string, token.Pos) {
+	name, pos := "", token.NoPos
+	for k, v := range w.held {
+		if name == "" || k < name {
+			name, pos = k, v
+		}
+	}
+	return name, pos
+}
+
+func (w *lockWalker) reportBlocking(pos token.Pos, what string) {
+	name, lockPos := w.anyHeld()
+	w.pass.Reportf(pos, "%s while %q is held (locked at %s); release the lock or make the operation non-blocking",
+		what, name, w.pass.Fset.Position(lockPos))
+}
+
+// stmt walks one statement, updating lock state and flagging blocking
+// operations when any mutex is held. Branching statements analyze each
+// branch with its own copy of the state and merge the exits: a lock held on
+// any live path out of the branch stays held (conservative), and a branch
+// that terminates (return, panic, break/continue) contributes nothing — so
+// the common "unlock in every select clause / early-return arm" shapes
+// resolve precisely.
+func (w *lockWalker) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range st.List {
+			w.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if mu, op := w.mutexOp(call); op != "" {
+				w.transition(mu, op, call.Pos())
+				return
+			}
+		}
+		w.expr(st.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds the lock to the end of the function: keep
+		// the region open and keep checking. Other deferred calls run at
+		// return; their bodies are out of lexical scope.
+		return
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the caller's locks.
+		return
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e)
+		}
+	case *ast.SendStmt:
+		if len(w.held) > 0 {
+			w.reportBlocking(st.Pos(), "blocking channel send")
+		}
+		w.expr(st.Value)
+	case *ast.IfStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond)
+		body := w.fork()
+		body.stmt(st.Body)
+		branches := []*branchExit{{body.held, terminates(st.Body)}}
+		if st.Else != nil {
+			els := w.fork()
+			els.stmt(st.Else)
+			branches = append(branches, &branchExit{els.held, terminates(st.Else)})
+		} else {
+			// No else: the fall-through path keeps the entry state.
+			branches = append(branches, &branchExit{w.held, false})
+		}
+		w.held = mergeExits(branches)
+	case *ast.ForStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond)
+		body := w.fork()
+		body.stmt(st.Body)
+		// The loop may run zero times; a lock leaked by the body also
+		// survives. Merge both.
+		w.held = mergeExits([]*branchExit{{w.held, false}, {body.held, false}})
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		body := w.fork()
+		body.stmt(st.Body)
+		w.held = mergeExits([]*branchExit{{w.held, false}, {body.held, false}})
+	case *ast.SwitchStmt:
+		w.stmt(st.Init)
+		w.expr(st.Tag)
+		w.held = w.caseExits(st.Body, true)
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init)
+		w.held = w.caseExits(st.Body, true)
+	case *ast.SelectStmt:
+		w.selectStmt(st)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	}
+}
+
+// branchExit is one branch's lock state on exit.
+type branchExit struct {
+	held       map[string]token.Pos
+	terminated bool
+}
+
+// mergeExits unions the held sets of every non-terminating branch.
+func mergeExits(branches []*branchExit) map[string]token.Pos {
+	merged := make(map[string]token.Pos)
+	for _, b := range branches {
+		if b.terminated {
+			continue
+		}
+		for k, v := range b.held {
+			merged[k] = v
+		}
+	}
+	return merged
+}
+
+// caseExits walks each case clause of a switch body with a forked state and
+// merges the exits. When includeEntry is true (no guarantee a case runs),
+// the entry state is merged too.
+func (w *lockWalker) caseExits(body *ast.BlockStmt, includeEntry bool) map[string]token.Pos {
+	branches := []*branchExit{}
+	if includeEntry {
+		branches = append(branches, &branchExit{w.held, false})
+	}
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		f := w.fork()
+		for _, sub := range cc.Body {
+			f.stmt(sub)
+		}
+		branches = append(branches, &branchExit{f.held, terminatesList(cc.Body)})
+	}
+	return mergeExits(branches)
+}
+
+// selectStmt handles the one sanctioned non-blocking shape: a select with a
+// default clause never blocks, so its comm operations are exempt. A select
+// without default parks the goroutine and is flagged as a whole. Exactly one
+// clause runs, so the exit state is the merge of the clause exits alone.
+func (w *lockWalker) selectStmt(st *ast.SelectStmt) {
+	hasDefault := false
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && len(w.held) > 0 {
+		w.reportBlocking(st.Pos(), "blocking select (no default clause)")
+	}
+	var branches []*branchExit
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		f := w.fork()
+		// The comm op itself is non-blocking iff the select has a default;
+		// either way it has already been accounted for above, so skip the
+		// comm statement and walk only the clause body.
+		for _, sub := range cc.Body {
+			f.stmt(sub)
+		}
+		branches = append(branches, &branchExit{f.held, terminatesList(cc.Body)})
+	}
+	if len(branches) > 0 {
+		w.held = mergeExits(branches)
+	}
+}
+
+// terminates reports whether control cannot flow past s — a conservative
+// subset of the spec's terminating statements, enough to recognize the
+// unlock-and-return / unlock-and-panic arms that end lock regions.
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return terminatesList(st.List)
+	case *ast.IfStmt:
+		return st.Else != nil && terminates(st.Body) && terminates(st.Else)
+	case *ast.LabeledStmt:
+		return terminates(st.Stmt)
+	}
+	return false
+}
+
+func terminatesList(list []ast.Stmt) bool {
+	return len(list) > 0 && terminates(list[len(list)-1])
+}
+
+// expr flags blocking operations in an expression tree: channel receives and
+// calls from the blocking table. Function literals are skipped (they execute
+// elsewhere).
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(w.held) > 0 {
+				w.reportBlocking(x.Pos(), "blocking channel receive")
+			}
+		case *ast.CallExpr:
+			if len(w.held) == 0 {
+				return true
+			}
+			fn := calleeFunc(w.pass, x)
+			if fn == nil {
+				return true
+			}
+			if names, ok := blockingCalls[funcPkgPath(fn)]; ok && names[fn.Name()] {
+				w.reportBlocking(x.Pos(), "call to "+fn.Pkg().Name()+"."+fn.Name()+" can block")
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver expression rendered as
+// source and the method name.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || funcPkgPath(fn) != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isMutexType(recv.Type()) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), fn.Name()
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// transition applies a mutex operation to the held set.
+func (w *lockWalker) transition(mu, op string, pos token.Pos) {
+	switch op {
+	case "Lock", "RLock":
+		w.held[mu] = pos
+	case "Unlock", "RUnlock":
+		delete(w.held, mu)
+	}
+}

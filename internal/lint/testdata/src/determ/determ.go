@@ -1,0 +1,71 @@
+// Package determ exercises the determinism analyzer. It is not one of the
+// declared-deterministic repo packages, so it opts in with the directive
+// below.
+//
+//repro:deterministic
+package determ
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand in declared-deterministic package"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Jitter draws from the forbidden global source; only the import is flagged.
+func Jitter() int {
+	return rand.Intn(10)
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() (int64, int64) {
+	t0 := time.Now()    // want "time.Now reads the wall clock"
+	d := time.Since(t0) // want "time.Since reads the wall clock"
+	return t0.Unix(), int64(d)
+}
+
+// Epoch shows the escape hatch: the directive covers the next line.
+func Epoch() int64 {
+	//lint:ignore determinism fixture exercises the escape hatch
+	return time.Now().Unix()
+}
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map appends to \"out\""
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-then-sort shape.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump prints in map iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map"
+	}
+}
+
+// Render writes in map iteration order through a Builder.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "write inside range over map"
+	}
+	return b.String()
+}
+
+var _ = 0 /* want "unused lint:ignore directive for determinism" */ //lint:ignore determinism stale suppression that covers nothing
+
+var _ = 1 /* want "lint:ignore directive needs a reason" */ //lint:ignore determinism

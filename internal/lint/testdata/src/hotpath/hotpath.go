@@ -1,0 +1,87 @@
+// Package hotpath exercises the hotalloc analyzer against the fixture
+// tensor.Workspace arena.
+package hotpath
+
+import (
+	"fmt"
+	"strconv"
+
+	"tensor"
+)
+
+type point struct {
+	x, y float32
+}
+
+// sink receives boxed arguments.
+func sink(v interface{}) { _ = v }
+
+// Scale is hot by the workspace-parameter rule and stays on the arena.
+func Scale(ws *tensor.Workspace, xs []float32, k float32) []float32 {
+	out := ws.GetFloats(len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+// Bad collects every allocating construct the analyzer knows.
+func Bad(ws *tensor.Workspace, xs []float32, name string) string {
+	buf := make([]float32, len(xs))   // want "make allocates"
+	p := new(int)                     // want "new allocates"
+	lit := []float32{1, 2}            // want "slice literal allocates"
+	m := map[string]int{}             // want "map literal allocates"
+	q := &point{1, 2}                 // want "&composite literal escapes"
+	s := name + "!"                   // want "string concatenation allocates"
+	s += name                         // want "string \\+= allocates"
+	f := func() {}                    // want "closure allocates"
+	msg := fmt.Sprintf("%d", len(xs)) // want "fmt.Sprintf allocates"
+	b := []byte(name)                 // want "conversion copies"
+	n := strconv.Itoa(len(xs))        // want "strconv.Itoa allocates"
+	sink(len(xs))                     // want "boxes int into interface"
+	_, _, _, _ = buf, p, lit, m
+	_, _, _, _ = q, f, msg, b
+	return s + n // want "string concatenation allocates"
+}
+
+// cold is not hot: the same constructs pass without comment.
+func cold(xs []float32) []float32 {
+	out := make([]float32, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// Checked is hot, but panic arguments are exempt: the abort path is never
+// the hot path.
+func Checked(ws *tensor.Workspace, xs []float32) float32 {
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("hotpath: empty input of %d", len(xs)))
+	}
+	return xs[0]
+}
+
+// Fused is hot by marker, not signature.
+//
+//repro:hotpath
+func Fused(xs []float32) float32 {
+	tmp := make([]float32, 1) // want "make allocates"
+	tmp[0] = 0
+	for _, x := range xs {
+		tmp[0] += x
+	}
+	return tmp[0]
+}
+
+// Emit returns a fresh slice by contract; the suppression records why.
+func Emit(ws *tensor.Workspace, xs []float32) []float32 {
+	//lint:ignore hotalloc result escapes to the caller by contract
+	out := make([]float32, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// PointerArgs do not box: pointer-shaped values ride in the interface word.
+func PointerArgs(ws *tensor.Workspace, p *point) {
+	sink(p)
+	sink(nil)
+}

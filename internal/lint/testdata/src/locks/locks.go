@@ -1,0 +1,106 @@
+// Package locks exercises the locksafe analyzer.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu    sync.Mutex
+	subs  []chan int
+	state int
+}
+
+// publishBad sends while holding the lock: one slow subscriber stalls every
+// caller behind the mutex.
+func (h *hub) publishBad(v int) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		ch <- v // want "blocking channel send"
+	}
+	h.mu.Unlock()
+}
+
+// publishGood is the sanctioned SSE shape: select with default drops instead
+// of stalling.
+func (h *hub) publishGood(v int) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// sleepBad parks the goroutine while a deferred unlock holds the lock.
+func (h *hub) sleepBad() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep can block"
+}
+
+// waitBad receives under the lock.
+func (h *hub) waitBad(ch chan int) {
+	h.mu.Lock()
+	h.state = <-ch // want "blocking channel receive"
+	h.mu.Unlock()
+}
+
+// selectBad has no default clause, so the select itself parks.
+func (h *hub) selectBad(a, b chan int) {
+	h.mu.Lock()
+	select { // want "blocking select"
+	case h.state = <-a:
+	case h.state = <-b:
+	}
+	h.mu.Unlock()
+}
+
+// branchGood unlocks on every branch before blocking.
+func (h *hub) branchGood(ready bool, ch chan int) {
+	h.mu.Lock()
+	if ready {
+		h.state++
+		h.mu.Unlock()
+	} else {
+		h.mu.Unlock()
+	}
+	ch <- h.state
+}
+
+// earlyReturnGood: the locked arm returns; the fall-through has unlocked by
+// the time it blocks.
+func (h *hub) earlyReturnGood(ch chan int) {
+	h.mu.Lock()
+	if h.state == 0 {
+		h.mu.Unlock()
+		return
+	}
+	h.state--
+	h.mu.Unlock()
+	ch <- h.state
+}
+
+// clauseGood unlocks inside every select clause, so the code after the
+// select is lock-free.
+func (h *hub) clauseGood(a chan int, ch chan int) {
+	h.mu.Lock()
+	select {
+	case h.state = <-a:
+		h.mu.Unlock()
+	default:
+		h.mu.Unlock()
+	}
+	ch <- h.state
+}
+
+// flushSuppressed shows the escape hatch with a recorded justification.
+func (h *hub) flushSuppressed(ch chan int) {
+	h.mu.Lock()
+	//lint:ignore locksafe fixture exercises the escape hatch
+	ch <- h.state
+	h.mu.Unlock()
+}

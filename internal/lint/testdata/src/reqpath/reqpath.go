@@ -1,0 +1,42 @@
+// Package reqpath exercises the ctxflow analyzer. It is not
+// repro/internal/core, so it opts in with the directive below.
+//
+//repro:requestpath
+package reqpath
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+)
+
+type engine struct{}
+
+// Detect is the detection call handlers must thread a context into.
+func (e *engine) Detect(ctx context.Context, line string) bool {
+	return ctx != nil && line != ""
+}
+
+// rootCtx manufactures a root context on a request path.
+func rootCtx() context.Context {
+	return context.Background() // want "manufactures a root context"
+}
+
+// handleBad severs cancellation: the detection call never sees r.Context().
+func (e *engine) handleBad(w http.ResponseWriter, r *http.Request) {
+	verdict := e.Detect(nil, r.URL.Path) // want "calls detection without threading r.Context"
+	fmt.Fprintf(w, "%v", verdict)
+}
+
+// handleGood threads the request context through.
+func (e *engine) handleGood(w http.ResponseWriter, r *http.Request) {
+	verdict := e.Detect(r.Context(), r.URL.Path)
+	fmt.Fprintf(w, "%v", verdict)
+}
+
+// Warm runs before the server accepts traffic; the suppression records why a
+// root context is legitimate here.
+func Warm(e *engine) {
+	//lint:ignore ctxflow warmup runs before the server accepts traffic
+	e.Detect(context.Background(), "warmup")
+}

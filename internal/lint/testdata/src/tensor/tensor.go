@@ -1,0 +1,25 @@
+// Package tensor is a fixture stand-in for repro/internal/tensor. The
+// analyzers match the Workspace arena by package and type name, so tests can
+// exercise the hot-path contract without importing the real package.
+package tensor
+
+// Workspace is the fake arena.
+type Workspace struct {
+	floats []float32
+}
+
+// GetFloats returns arena scratch of length n.
+func (w *Workspace) GetFloats(n int) []float32 {
+	if cap(w.floats) < n {
+		w.floats = make([]float32, n)
+	}
+	return w.floats[:n]
+}
+
+// Merge takes a *Workspace parameter, which would make it hot — but it is a
+// method of the arena itself, where amortized growth is the design, so
+// hotalloc stays silent.
+func (w *Workspace) Merge(src *Workspace) {
+	w.floats = append(w.floats, make([]float32, len(src.floats))...)
+	copy(w.floats[len(w.floats)-len(src.floats):], src.floats)
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// calleeFunc resolves the function or method a call expression invokes, or
+// nil for builtins, type conversions, and calls through function values.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring fn ("" for
+// builtins and universe-scope functions).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// fileHasDirective reports whether any comment in f is exactly the given
+// //-directive (e.g. "//repro:deterministic").
+func fileHasDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// declHasDirective reports whether a declaration's doc comment contains the
+// given //-directive on a line of its own.
+func declHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgDeclaredBy reports whether the pass's package is in paths or any of its
+// files carries the directive — the two ways a package opts into a scoped
+// analyzer.
+func pkgDeclaredBy(pass *analysis.Pass, paths map[string]bool, directive string) bool {
+	if paths[pass.Pkg.Path()] {
+		return true
+	}
+	for _, f := range pass.Files {
+		if fileHasDirective(f, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedType reports whether t (after pointer indirection if deref) is the
+// named type pkgName.typeName, matching the declaring package by name so
+// test fixtures can stand in for the real package.
+func isNamedType(t types.Type, deref bool, pkgName, typeName string) bool {
+	if deref {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// mentionsObject reports whether the expression tree rooted at e contains an
+// identifier resolving to obj.
+func mentionsObject(pass *analysis.Pass, e ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

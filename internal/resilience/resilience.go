@@ -199,6 +199,7 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = time.Second
 	}
+	//lint:ignore determinism injectable clock's production default; deterministic chaos replays inject a fake
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
 }
 

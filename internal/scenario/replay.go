@@ -186,6 +186,7 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 	reqDegraded := make([]bool, len(reqs))
 
 	var wg sync.WaitGroup
+	//lint:ignore determinism open-loop replay paces arrivals on the wall clock by design; generation stays seeded
 	start := time.Now()
 	timer := time.NewTimer(0)
 	defer timer.Stop()
@@ -194,6 +195,7 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 	}
 	for ri, rq := range reqs {
 		due := start.Add(time.Duration(float64(rq.at) / cfg.Speed))
+		//lint:ignore determinism open-loop replay paces arrivals on the wall clock by design; generation stays seeded
 		if wait := time.Until(due); wait > 0 {
 			timer.Reset(wait)
 			select {
@@ -210,8 +212,10 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 			for k := 0; k < rq.n; k++ {
 				sentences[k] = logparse.Sentence(s.Events[rq.first+k].Job)
 			}
+			//lint:ignore determinism wall-clock latency measurement of the replayed request; a measurement, not scenario bytes
 			t0 := time.Now()
 			br, err := postBatch(ctx, cfg, sentences)
+			//lint:ignore determinism wall-clock latency measurement of the replayed request; a measurement, not scenario bytes
 			latencies[ri] = float64(time.Since(t0)) / float64(time.Millisecond)
 			if err != nil || len(br.Results) != rq.n {
 				reqFail[ri] = classifyFailure(err)
@@ -227,6 +231,7 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 		}(ri, rq)
 	}
 	wg.Wait()
+	//lint:ignore determinism wall-clock latency measurement of the replayed request; a measurement, not scenario bytes
 	wall := time.Since(start)
 
 	res := &Result{
@@ -309,6 +314,7 @@ func ReplayMonitor(ctx context.Context, s *Stream, cfg ReplayConfig) (*MonitorRe
 		return nil, fmt.Errorf("scenario: replaying empty stream %q", s.Name)
 	}
 	pr, pw := io.Pipe()
+	//lint:ignore determinism open-loop replay paces arrivals on the wall clock by design; generation stays seeded
 	start := time.Now()
 	go func() {
 		timer := time.NewTimer(0)
@@ -318,6 +324,7 @@ func ReplayMonitor(ctx context.Context, s *Stream, cfg ReplayConfig) (*MonitorRe
 		}
 		for _, ev := range s.Events {
 			due := start.Add(time.Duration(float64(ev.At) / cfg.Speed))
+			//lint:ignore determinism open-loop replay paces arrivals on the wall clock by design; generation stays seeded
 			if wait := time.Until(due); wait > 0 {
 				timer.Reset(wait)
 				select {
@@ -352,6 +359,7 @@ func ReplayMonitor(ctx context.Context, s *Stream, cfg ReplayConfig) (*MonitorRe
 	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
 		return nil, err
 	}
+	//lint:ignore determinism wall-clock latency measurement of the replayed request; a measurement, not scenario bytes
 	wall := time.Since(start)
 	out := &MonitorResult{
 		Scenario:    s.Name,

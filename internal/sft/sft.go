@@ -87,19 +87,24 @@ func (c *Classifier) PredictBatchWS(texts []string, ws *tensor.Workspace) ([]int
 	if len(texts) == 0 {
 		return nil, nil
 	}
+	//lint:ignore hotalloc per-batch token-id scratch; workspace arenas hold flat buffers, not slices of slices
 	seqs := make([][]int, len(texts))
 	for i, t := range texts {
 		seqs[i] = c.Tok.Encode(t, true)
 	}
 	logits := c.Model.ForwardClsBatchWS(seqs, ws)
+	//lint:ignore hotalloc returned to the caller; results must outlive the workspace's next Reset
 	labels := make([]int, len(texts))
+	//lint:ignore hotalloc returned to the caller; results must outlive the workspace's next Reset
 	probs := make([][2]float32, len(texts))
 	for i := range texts {
-		row := make([]float32, 2)
-		copy(row, logits.Row(i))
-		tensor.Softmax(row)
-		labels[i] = tensor.ArgMax(row)
-		probs[i] = [2]float32{row[0], row[1]}
+		// A fixed-size array keeps the softmax scratch on the stack — the
+		// old make([]float32, 2) here was one heap allocation per sentence.
+		var row [2]float32
+		copy(row[:], logits.Row(i))
+		tensor.Softmax(row[:])
+		labels[i] = tensor.ArgMax(row[:])
+		probs[i] = row
 	}
 	return labels, probs
 }

@@ -264,6 +264,7 @@ func MatMulQ8(dst, x *Matrix, w *QInt8Matrix, ws *Workspace) *Matrix {
 		matMulQ8Rows(dst, x, w, xu, sx.Data, adj, 0, n)
 		return dst
 	}
+	//lint:ignore hotalloc one fan-out closure per matmul, amortized over the whole parallel row sweep
 	parallelRows(n, w.In*w.Out, func(lo, hi int) {
 		matMulQ8Rows(dst, x, w, xu, sx.Data, adj, lo, hi)
 	})

@@ -1,0 +1,43 @@
+package tokenizer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad drives the vocabulary reader with arbitrary bytes. Accepted
+// vocabularies must round-trip (save, reload, same vocabulary) and must
+// tokenize without panicking — the properties LoadDetector relies on when it
+// embeds a vocabulary section inside a model artifact.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Build([]string{"alpha beta gamma", "delta 42 epsilon", "GET /v1/detect 200"}).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2]) // truncated mid-word
+	f.Add([]byte{})
+	f.Add([]byte("TOKV"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tok.Save(&out); err != nil {
+			t.Fatalf("loaded vocabulary cannot be re-saved: %v", err)
+		}
+		tok2, err := Load(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-saved vocabulary does not reload: %v", err)
+		}
+		if tok2.VocabSize() != tok.VocabSize() {
+			t.Fatalf("round trip changed vocabulary size: %d -> %d", tok.VocabSize(), tok2.VocabSize())
+		}
+		ids := tok.Encode("alpha 42 unseen-token", true)
+		if tok.Decode(ids) == "" {
+			t.Fatal("loaded vocabulary decodes a wrapped sentence to nothing")
+		}
+	})
+}

@@ -259,8 +259,16 @@ func Load(r io.Reader) (*Tokenizer, error) {
 		return nil, fmt.Errorf("tokenizer: vocabulary of %d words is implausible (need at least %d, at most %d)",
 			count, reserved, maxVocabWords)
 	}
-	words := make([]string, 0, count)
-	idx := make(map[string]int, count)
+	// Preallocate from the declared count only up to a modest bound: count is
+	// attacker-controlled until the words actually arrive, and trusting it
+	// outright turns an 8-byte header into a multi-hundred-megabyte
+	// allocation. Real vocabularies grow past the bound via append.
+	prealloc := int(count)
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	words := make([]string, 0, prealloc)
+	idx := make(map[string]int, prealloc)
 	for i := 0; i < int(count); i++ {
 		var wordLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &wordLen); err != nil {

@@ -61,6 +61,7 @@ func (m *Model) nextTokenLogitsWithCache(cache *KVCache, suffix []int, ws *tenso
 	// head on that single row.
 	last := ws.RowView(h, h.Rows-1, h.Rows)
 	logits := nn.Infer(m.LMHead, m.FinalLN.Infer(last, ws), ws)
+	//lint:ignore hotalloc returned to the caller; the logits row must outlive the workspace's next Reset
 	out := make([]float32, logits.Cols)
 	copy(out, logits.Row(0))
 	return out
