@@ -13,14 +13,18 @@ GO ?= go
 # and the artifact startup story — StartupTrain vs StartupLoad is the same
 # detector arriving by boot-time retraining vs `anomalyd -load`, and
 # RegistrySwap is hot-swap latency (install + drain) under request load.
-BENCH_PATTERN := MatMul128|MatMulBlockedTall|MatMulQ8Tall|AttentionForward|DecoderNextToken|KVCacheDecode|KVCacheDecodeInt8|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|SFTServeBatch8|SFTServeBatch8Int8|ICLServeBatch8|ICLServeBatch8Int8|QuantizeInt8|ServerCoalesced|Monitor|MonitorSequential|MonitorServe|MonitorServeInt8|StartupTrain|StartupLoad|RegistrySwap
+BENCH_PATTERN := MatMul128|MatMulBlockedTall|MatMulQ8Tall|AttentionForward|DecoderNextToken|KVCacheDecode|KVCacheDecodeInt8|EncodeBatch|SFTPredictSequential8|SFTPredictBatch8|SFTPredictBatch32|ICLClassifySequential8|ICLClassifyBatch8|SFTServeBatch8|SFTServeBatch8Int8|ICLServeBatch8|ICLServeBatch8Int8|QuantizeInt8|ServerCoalesced|Monitor|MonitorSequential|MonitorServe|MonitorServeInt8|MonitorServeCascadeOff|MonitorServeCascade|StartupTrain|StartupLoad|RegistrySwap
 BENCH_OUT := BENCH_5.json
 
-# The scenario suite `make bench-scenarios` records to BENCH_6.json: every
+# The scenario suite `make bench-scenarios` records to BENCH_9.json: every
 # traffic scenario (docs/SCENARIOS.md) replayed over HTTP against an
-# in-process anomalyd, with the PCA/isolation-forest seed baselines scored on
-# the same streams. loadlab-smoke is the seconds-scale CI subset.
-SCENARIO_OUT := BENCH_6.json
+# in-process anomalyd, with the seed baselines (PCA, isolation forest, MLP
+# autoencoder) scored on the same streams, plus cascade off/on paired rows
+# (`-cascade ngram`): each non-chaos scenario replayed a second time with the
+# calibrated stage-1 gate armed, recording lines/sec, verdict agreement, and
+# pass fraction (docs/PERFORMANCE.md). loadlab-smoke and cascade-smoke are
+# the seconds-scale CI subsets.
+SCENARIO_OUT := BENCH_9.json
 
 # The chaos suite `make bench-chaos` records to BENCH_7.json: every scenario
 # replayed as its chaos variant (deterministic faults over the middle third
@@ -32,7 +36,7 @@ SCENARIO_OUT := BENCH_6.json
 # p99. chaos-smoke is the seconds-scale CI subset.
 CHAOS_OUT := BENCH_7.json
 
-.PHONY: check fmt vet build test lint fuzz-smoke bench bench-all bench-scenarios loadlab-smoke bench-chaos chaos-smoke
+.PHONY: check fmt vet build test lint fuzz-smoke bench bench-all bench-scenarios loadlab-smoke cascade-smoke bench-chaos chaos-smoke
 
 check: fmt vet build test lint
 
@@ -87,9 +91,17 @@ bench-all:
 
 # bench-scenarios trains the reference detector in-process, replays all six
 # scenarios (detect-batch path, plus the monitor path for steady), scores the
-# seed baselines on the identical streams, and records $(SCENARIO_OUT).
+# seed baselines on the identical streams, replays each scenario again with
+# the stage-1 cascade gate armed (paired +cascade rows), and records
+# $(SCENARIO_OUT). Speed 50 keeps the gated replays compute-bound — at the
+# default speed 10 the cascade runs finish inside the paced schedule and the
+# recorded lines/sec clips at the arrival rate, understating the speedup.
+# Recall 0.9999 is the identity-grade calibration: at the full 2000-event
+# scale it holds trace flags bit-identical on all six scenarios, where the
+# serving default 0.995 leaves a boundary trace flipping on two of them
+# (docs/PERFORMANCE.md).
 bench-scenarios:
-	$(GO) run ./cmd/loadlab -out $(SCENARIO_OUT)
+	$(GO) run ./cmd/loadlab -speed 50 -cascade ngram -cascade-recall 0.9999 -out $(SCENARIO_OUT)
 	@echo "recorded $(SCENARIO_OUT)"
 
 # loadlab-smoke is the CI gate: a tiny detector, two scenarios, high speed —
@@ -101,6 +113,19 @@ loadlab-smoke:
 	$(GO) run ./cmd/loadlab -events 200 -speed 200 -train 150 -pretrain 60 -epochs 1 \
 		-workflow predict-future-sales -seed 6 -scenarios steady,near-dup \
 		-out loadlab-smoke.json
+
+# cascade-smoke is the two-stage inference CI gate: the loadlab-smoke config
+# replayed with the calibrated ngram gate armed, so every scenario lands as
+# an off/on row pair carrying lines/sec, verdict agreement, and pass
+# fraction. Diffs against the recorded cascade-smoke-baseline.json via
+# `scripts/benchdiff cascade-smoke-baseline.json cascade-smoke.json`: the
+# deterministic columns (events, agreement, pass fraction, trace flags)
+# should not move at all; lines/sec moves with the runner.
+cascade-smoke:
+	$(GO) run ./cmd/loadlab -events 200 -speed 200 -train 400 -pretrain 120 -epochs 2 \
+		-workflow 1000-genome -seed 9 -scenarios steady,near-dup -cascade ngram \
+		-out cascade-smoke.json
+	scripts/benchdiff cascade-smoke-baseline.json cascade-smoke.json
 
 # bench-chaos replays every scenario as its chaos variant with the full
 # overload stack on. Speed 2 keeps each scenario's fault window hundreds of

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cascade"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flowbench"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pretrain"
 	"repro/internal/prompt"
+	"repro/internal/scenario"
 	"repro/internal/sft"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
@@ -373,6 +375,8 @@ var (
 	serveBenchDet      core.Detector
 	serveBenchDetInt8  core.Detector
 	serveBenchLog      string
+	serveBenchSteady   string
+	serveBenchGate     *cascade.Gate
 	serveBenchSentence []string
 )
 
@@ -412,6 +416,35 @@ func serveBench() {
 			sb.WriteByte('\n')
 		}
 		serveBenchLog = sb.String()
+
+		// Cascade pair fixture: a steady-scenario log (the monitor's
+		// production traffic mix, mostly normal) plus a default ngram gate
+		// calibrated on the same dataset the stream draws from. The bench
+		// models are untrained, so calibration verdicts are the ground-truth
+		// labels standing in for stage-2 verdicts, at a label recall of 0.75
+		// — the trained transformer flags ~75% of ground-truth labels, so
+		// this reproduces the operating point of the production calibration
+		// (transformer verdicts at the 0.995 default). The agreement contract
+		// is pinned by TestCascadeParityEndToEnd and the loadlab paired rows
+		// with the real trained detector; this pair only measures throughput.
+		full := flowbench.Generate(flowbench.Genome, 1)
+		verdicts := make([]int, len(full.Train))
+		for i, j := range full.Train {
+			verdicts[i] = j.Label
+		}
+		gate, err := cascade.Fit(cascade.Config{TargetRecall: 0.75}, full.Train, verdicts)
+		if err != nil {
+			panic(err)
+		}
+		serveBenchGate = gate
+		steady, _ := scenario.Lookup("steady")
+		s := steady.Generate(scenario.Config{Workflow: flowbench.Genome, Events: 1000, Seed: 1, Rate: 400})
+		var cb strings.Builder
+		for _, ev := range s.Events {
+			cb.WriteString(ev.Line)
+			cb.WriteByte('\n')
+		}
+		serveBenchSteady = cb.String()
 	})
 }
 
@@ -613,34 +646,52 @@ func BenchmarkMonitor(b *testing.B) {
 // end-to-end monitor win of quantization. (BenchmarkMonitor above keeps its
 // miniature gpt2 detector for comparability with earlier BENCH records; it
 // measures pipeline overhead, not model throughput.)
-func benchmarkMonitorServe(b *testing.B, det core.Detector) {
+func benchmarkMonitorServe(b *testing.B, det core.Detector, logText string, gate *cascade.Gate) {
 	serveBench()
-	logText := serveBenchLog
 	warm := strings.Join(strings.SplitN(logText, "\n", 65)[:64], "\n")
-	if _, err := core.MonitorWith(context.Background(), det, strings.NewReader(warm), core.MonitorConfig{}); err != nil {
+	if _, err := core.MonitorWith(context.Background(), det, strings.NewReader(warm), core.MonitorConfig{Gate: gate}); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		report, err := core.MonitorWith(context.Background(), det, strings.NewReader(logText), core.MonitorConfig{})
+		report, err := core.MonitorWith(context.Background(), det, strings.NewReader(logText), core.MonitorConfig{Gate: gate})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if report.Processed != 1000 {
 			b.Fatalf("processed %d lines, want 1000", report.Processed)
 		}
+		if gate != nil && report.CascadeShort == 0 {
+			b.Fatal("cascade bench gate never short-circuited")
+		}
 	}
 }
 
 func BenchmarkMonitorServe(b *testing.B) {
 	serveBench()
-	benchmarkMonitorServe(b, serveBenchDet)
+	benchmarkMonitorServe(b, serveBenchDet, serveBenchLog, nil)
 }
 
 func BenchmarkMonitorServeInt8(b *testing.B) {
 	serveBench()
-	benchmarkMonitorServe(b, serveBenchDetInt8)
+	benchmarkMonitorServe(b, serveBenchDetInt8, serveBenchLog, nil)
+}
+
+// BenchmarkMonitorServeCascadeOff / BenchmarkMonitorServeCascade are the
+// two-stage inference record: the same serving-scale detector over the same
+// steady-scenario 1k-line log (the monitor's production traffic mix), first
+// transformer-only, then with the calibrated ngram gate short-circuiting the
+// confident-normal band. The pair is the "cascade on vs off" speedup
+// scripts/benchdiff gates on.
+func BenchmarkMonitorServeCascadeOff(b *testing.B) {
+	serveBench()
+	benchmarkMonitorServe(b, serveBenchDet, serveBenchSteady, nil)
+}
+
+func BenchmarkMonitorServeCascade(b *testing.B) {
+	serveBench()
+	benchmarkMonitorServe(b, serveBenchDet, serveBenchSteady, serveBenchGate)
 }
 
 func BenchmarkMatMulBlockedTall(b *testing.B) {

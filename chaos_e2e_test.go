@@ -93,13 +93,28 @@ func TestChaosReplayEndToEnd(t *testing.T) {
 	if chaos.Phases == nil {
 		t.Fatal("chaos replay recorded no phase latencies")
 	}
-	t.Logf("p99: clean %.1fms; chaos pre %.1f / during %.1f / post %.1fms",
-		clean.ClientP99Ms, chaos.Phases.PreP99Ms, chaos.Phases.DuringP99Ms, chaos.Phases.PostP99Ms)
+	t.Logf("p99: clean %.1fms; chaos pre %.1f / during %.1f / post %.1fms; drain recovery %.0fms",
+		clean.ClientP99Ms, chaos.Phases.PreP99Ms, chaos.Phases.DuringP99Ms, chaos.Phases.PostP99Ms,
+		chaos.Phases.RecoveryMs)
 
-	// Recovery: once the fault window closes, tail latency returns to the
-	// no-fault baseline (1.2x + a small absolute cushion for scheduler
-	// noise). Meaningless under the race detector's ~10x slowdown.
+	// Recovery, asserted drain-aware: RecoveryMs marks when completions got
+	// back under the pre-fault bound, so a queue backlog outlasting the
+	// schedule reads as "not observed" (−1) rather than passing on a
+	// post-window percentile the backlog never touched. The steady scenario
+	// at this load must both observe recovery and complete it before the
+	// clean tail ends. Meaningless under the race detector's ~10x slowdown.
 	if !raceEnabled {
+		if chaos.Phases.RecoveryMs < 0 {
+			t.Errorf("recovery not observed within the run (post p99 %.1fms, pre p99 %.1fms)",
+				chaos.Phases.PostP99Ms, chaos.Phases.PreP99Ms)
+		}
+		// The clean tail is the final third of the schedule; recovery must
+		// land inside it, not merely before the process exits.
+		tailMs := float64((plan.Window.End - plan.Window.Start) / time.Millisecond)
+		if chaos.Phases.RecoveryMs > tailMs {
+			t.Errorf("drain recovery took %.0fms, longer than the %.0fms clean tail",
+				chaos.Phases.RecoveryMs, tailMs)
+		}
 		bound := 1.2*clean.ClientP99Ms + 50
 		if chaos.Phases.PostP99Ms > bound {
 			t.Errorf("post-fault p99 %.1fms did not recover to %.1fms (clean p99 %.1fms)",

@@ -35,6 +35,15 @@
 // fault-injection campaign (see internal/faults) for chaos drills; see
 // docs/RELIABILITY.md.
 //
+// -cascade arms two-stage inference: a calibrated cheap scorer (ngram — a
+// supervised count table over the tokenizer's magnitude buckets — pca, or
+// iforest) short-circuits confidently-normal lines in front of the
+// transformer, always on (unlike brownout, which only engages under
+// saturation). -cascade-recall sets the calibration target (default 0.995);
+// per-model gating counters appear under "stats" in GET /v1/models. Gates
+// fitted at training time travel inside the artifact (-train-out -cascade
+// ngram) and re-arm automatically on -load; see docs/PERFORMANCE.md.
+//
 // With -load the daemon performs zero training steps at boot: each artifact
 // (written by -train-out, sfttrain -save, or iclrun -save) is loaded into the
 // model registry under its name (`name=path`, or the file's base name) and
@@ -62,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cascade"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/flowbench"
@@ -94,6 +104,8 @@ func main() {
 		brownout     = flag.Int("brownout", 0, "queue depth that engages brownout: /v1/detect/batch answers degraded from a calibrated PCA baseline until load recedes (0 = off)")
 		brownHold    = flag.Duration("brownout-hold", 0, "how long the queue must stay saturated before brownout engages (0 = default 250ms)")
 		faultsSpec   = flag.String("faults", "", `fault-injection campaign armed at listen, e.g. "seed=7,every=5,kinds=latency+error,window=10s:30s,path=/v1/" — chaos drills only`)
+		cascScorer   = flag.String("cascade", "", "two-stage inference: stage-1 scorer (ngram, pca, or iforest) short-circuits confidently-normal lines before the transformer (empty = off)")
+		cascRecall   = flag.Float64("cascade-recall", cascade.DefaultTargetRecall, "cascade calibration target: fraction of flagged calibration lines that must still reach the transformer")
 	)
 	flag.Parse()
 	if *trainOut != "" && *load != "" {
@@ -106,6 +118,10 @@ func main() {
 		DefaultDeadline: *deadline, BrownoutDepth: *brownout, BrownoutHold: *brownHold,
 	}
 	reg := core.NewRegistry()
+	// dets remembers each served detector for post-registration cascade
+	// calibration; gates carries gates recovered from v3 artifacts.
+	dets := make(map[string]core.Detector)
+	gates := make(map[string]*cascade.Gate)
 
 	switch {
 	case *load != "":
@@ -113,7 +129,7 @@ func main() {
 		for _, spec := range strings.Split(*load, ",") {
 			name, path := splitModelSpec(spec)
 			start := time.Now()
-			det, err := core.LoadDetectorFile(path)
+			det, gate, err := core.LoadDetectorFileWithCascade(path)
 			if err != nil {
 				log.Fatal("anomalyd: ", err)
 			}
@@ -127,6 +143,7 @@ func main() {
 			if err := reg.Add(name, det, cfg); err != nil {
 				log.Fatal("anomalyd: ", err)
 			}
+			dets[name], gates[name] = det, gate
 			log.Printf("loaded %s (%s, %s) from %s in %s",
 				name, det.Approach(), core.DetectorPrecision(det), path, time.Since(start).Round(time.Millisecond))
 		}
@@ -159,7 +176,22 @@ func main() {
 			log.Print("detector quantized to int8 (integer inference path; held-out metrics above are the fp32 model's)")
 		}
 		if *trainOut != "" {
-			if err := core.SaveDetectorFile(*trainOut, det); err != nil {
+			// A gate fitted here ships inside the artifact, so -load re-arms
+			// the cascade without refitting (thresholds are calibrated against
+			// this exact detector's verdicts).
+			var gate *cascade.Gate
+			if *cascScorer != "" {
+				ds := flowbench.Generate(flowbench.Workflow(*workflow), *seed)
+				gate, err = core.FitCascade(det, cascade.Config{
+					Scorer: *cascScorer, TargetRecall: *cascRecall, Seed: *seed,
+				}, ds.Train)
+				if err != nil {
+					log.Fatal("anomalyd: ", err)
+				}
+				log.Printf("cascade calibrated: %s gate, target recall %.3f (%d calibration positives)",
+					gate.Scorer(), gate.TargetRecall(), gate.Positives())
+			}
+			if err := core.SaveDetectorFileWithCascade(*trainOut, det, gate); err != nil {
 				log.Fatal("anomalyd: ", err)
 			}
 			log.Printf("artifact written to %s; serve it with: anomalyd -load %s", *trainOut, *trainOut)
@@ -167,6 +199,37 @@ func main() {
 		}
 		if err := reg.Add(core.DefaultModel, det, cfg); err != nil {
 			log.Fatal("anomalyd: ", err)
+		}
+		dets[core.DefaultModel] = det
+	}
+
+	// Cascade arming: an explicit -cascade fits fresh gates against each
+	// served detector's own verdicts on the training split; otherwise any
+	// gate that traveled inside a v3 artifact re-arms as saved.
+	if *cascScorer != "" {
+		ds := flowbench.Generate(flowbench.Workflow(*workflow), *seed)
+		ccfg := cascade.Config{Scorer: *cascScorer, TargetRecall: *cascRecall, Seed: *seed}
+		for _, name := range reg.Names() {
+			g, err := core.FitCascade(dets[name], ccfg, ds.Train)
+			if err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+			if err := reg.SetCascade(name, g); err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+			log.Printf("cascade armed on %s: %s gate, target recall %.3f (%d calibration positives)",
+				name, g.Scorer(), g.TargetRecall(), g.Positives())
+		}
+	} else {
+		for name, g := range gates {
+			if g == nil {
+				continue
+			}
+			if err := reg.SetCascade(name, g); err != nil {
+				log.Fatal("anomalyd: ", err)
+			}
+			log.Printf("cascade armed on %s from artifact: %s gate, target recall %.3f",
+				name, g.Scorer(), g.TargetRecall())
 		}
 	}
 

@@ -10,14 +10,17 @@
 //	loadlab -scenarios bursty,near-dup -out - # subset, report to stdout
 //	loadlab -scenarios chaos-bursty -retries  # fault-injected replay, client retries
 //	loadlab -chaos -shed-depth 64 -brownout 48 -deadline-ms 250  # full overload drill
+//	loadlab -cascade ngram                    # paired rows per scenario: cascade off, then on
 //
 // Each scenario (see docs/SCENARIOS.md) is generated from a name + seed and
 // is byte-identical across runs, so reports diff meaningfully across commits
 // (scripts/benchdiff). The replay is open-loop over real HTTP: requests fire
 // at their scheduled instants whether or not the server keeps up, so
 // queueing appears in the measurements instead of being absorbed by client
-// backpressure. The seed baselines (PCA, isolation forest) score the same
-// event streams in-process as cheap comparison rows.
+// backpressure. The dark baselines (PCA, isolation forest, MLP autoencoder)
+// score the same event streams in-process as cheap comparison rows, and
+// -cascade replays each scenario a second time with the calibrated stage-1
+// gate armed so cascade off/on land as paired rows.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/cascade"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/flowbench"
@@ -69,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		model     = fs.String("model", "distilbert-base-uncased", "model registry name for in-process training")
 		trainSeed = fs.Uint64("train-seed", 9, "training seed")
 		quantize  = fs.Bool("quantize", false, "serve int8-quantized weights")
-		baseNames = fs.String("baselines", "pca,iforest", `comma-separated seed baselines scored on the same streams ("none" to skip)`)
+		baseNames = fs.String("baselines", "pca,iforest,mlpae", `comma-separated dark baselines scored on the same streams ("none" to skip)`)
 		monitors  = fs.String("monitor", "steady", `scenarios to additionally replay through /v1/monitor ("all", "none", or a comma list)`)
 		out       = fs.String("out", "-", "report path (- = stdout)")
 		detName   = fs.String("detector", "", "detector label in report rows (default: sft, int8, or the artifact name)")
@@ -82,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		brownout  = fs.Int("brownout", 0, "queue depth that engages brownout degradation to a calibrated PCA baseline (0 = off, in-process)")
 		brownHold = fs.Duration("brownout-hold", 0, "how long the queue must stay saturated before brownout engages (0 = server default 250ms; compressed replays need a hold matched to their timescale)")
 		retries   = fs.Bool("retries", false, "send replay requests through the resilience retry client (backoff, budget, Retry-After)")
+		cascName  = fs.String("cascade", "", "two-stage inference drill: replay each non-chaos scenario twice, stage-1 gate (ngram, pca, or iforest) off then on, as paired report rows (in-process only)")
+		cascRec   = fs.Float64("cascade-recall", cascade.DefaultTargetRecall, "cascade calibration target recall")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +129,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	label := *detName
 	var cleanup func()
 	var gate *faultGate
+	// cascadeArm toggles the in-process model's stage-1 gate between the
+	// paired off/on replays; nil when -cascade is off.
+	var cascadeArm func(on bool) error
+	// monReset clears the in-process model's trace tracker before each
+	// monitor replay, so repeated ingests of the same stream (the cascade
+	// off/on pair, or the same scenario across runs) report comparable
+	// flagged-trace counts instead of latch-suppressed zeros; nil against a
+	// remote server.
+	var monReset func() error
 	if baseURL == "" {
 		det, defLabel, err := buildDetector(stderr, *load, *quantize, core.Options{
 			Approach:      core.SFT,
@@ -161,6 +176,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintf(stderr, "brownout fallback fitted (pca, engages at queue depth %d)\n", *brownout)
 		}
+		if *cascName != "" {
+			ds := flowbench.Generate(cfg.Workflow, cfg.Seed)
+			g, err := core.FitCascade(det, cascade.Config{
+				Scorer: *cascName, TargetRecall: *cascRec, Seed: cfg.Seed,
+			}, ds.Train)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "cascade calibrated: %s gate, target recall %.3f (%d calibration positives)\n",
+				g.Scorer(), g.TargetRecall(), g.Positives())
+			cascadeArm = func(on bool) error {
+				if on {
+					return reg.SetCascade(core.DefaultModel, g)
+				}
+				return reg.SetCascade(core.DefaultModel, nil)
+			}
+		}
+		monReset = func() error { return reg.ResetMonitor(core.DefaultModel) }
 		srv := core.NewServerRegistry(reg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -179,6 +212,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		if len(chaosSet) > 0 {
 			return fmt.Errorf("chaos replays need the in-process server (faults are injected into its handler); drop -addr or use anomalyd -faults")
+		}
+		if *cascName != "" {
+			return fmt.Errorf("-cascade pairs off/on replays by toggling the in-process model's gate; drop -addr (a remote anomalyd arms its own cascade with -cascade)")
 		}
 		if label == "" {
 			label = "remote"
@@ -259,8 +295,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if inj != nil {
 			fmt.Fprintf(stderr, "  faults injected: %d %v\n", inj.Total(), inj.Counts())
 			if res.Phases != nil {
-				fmt.Fprintf(stderr, "  p99 pre %.1fms / during %.1fms / post %.1fms\n",
-					res.Phases.PreP99Ms, res.Phases.DuringP99Ms, res.Phases.PostP99Ms)
+				recov := fmt.Sprintf("%.0fms", res.Phases.RecoveryMs)
+				if res.Phases.RecoveryMs < 0 {
+					recov = "not observed"
+				}
+				fmt.Fprintf(stderr, "  p99 pre %.1fms / during %.1fms / post %.1fms, drain recovery %s\n",
+					res.Phases.PreP99Ms, res.Phases.DuringP99Ms, res.Phases.PostP99Ms, recov)
 			}
 		}
 		fmt.Fprintf(stderr, "  %s: %.0f lines/s, client p99 %.1fms, queue p99 %.1fms, AUC %.3f, trace F1 %.3f\n",
@@ -272,14 +312,73 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		report.Entries = append(report.Entries, entry)
 
+		var monBase *scenario.MonitorResult
 		if monitorSet[d.Name] {
+			if monReset != nil {
+				if err := monReset(); err != nil {
+					return err
+				}
+			}
 			mres, err := scenario.ReplayMonitor(ctx, s, rcfg)
 			if err != nil {
 				return fmt.Errorf("monitor replay %s: %w", d.Name, err)
 			}
+			monBase = mres
 			fmt.Fprintf(stderr, "  monitor: %.0f lines/s, %d alerts, %d flagged traces\n",
 				mres.LinesPerSec, mres.Report.Alerts, mres.Report.FlaggedTraces)
 			report.Entries = append(report.Entries, mres.Entry(label))
+		}
+
+		// Paired cascade replay: the same stream again with the stage-1 gate
+		// armed, so BENCH rows diff off vs on directly. Chaos variants stay
+		// unpaired — their injector state is consumed by the first replay.
+		if cascadeArm != nil && inj == nil {
+			if err := cascadeArm(true); err != nil {
+				return err
+			}
+			ccfg := rcfg
+			if *retries {
+				ccfg.Retry = &resilience.Client{Policy: resilience.DefaultPolicy(*seed)}
+			}
+			cres, err := scenario.Replay(ctx, s, ccfg)
+			if err != nil {
+				return fmt.Errorf("cascade replay %s: %w", d.Name, err)
+			}
+			agree, flagsEqual := cascadeAgreement(s, res, cres)
+			speedup := 0.0
+			if cres.LinesPerSec > 0 && res.LinesPerSec > 0 {
+				speedup = cres.LinesPerSec / res.LinesPerSec
+			}
+			fmt.Fprintf(stderr, "  %s+cascade: %.0f lines/s (%.2fx), agreement %.4f, trace flags equal %v, pass fraction %.2f\n",
+				label, cres.LinesPerSec, speedup, agree, flagsEqual, cres.Server.CascadePassFraction)
+			centry := cres.Entry(label + "+cascade")
+			centry.Extra["verdict_agreement"] = agree
+			centry.Extra["trace_flags_equal"] = 0
+			if flagsEqual {
+				centry.Extra["trace_flags_equal"] = 1
+			}
+			report.Entries = append(report.Entries, centry)
+			if monBase != nil {
+				if monReset != nil {
+					if err := monReset(); err != nil {
+						return err
+					}
+				}
+				mcres, err := scenario.ReplayMonitor(ctx, s, rcfg)
+				if err != nil {
+					return fmt.Errorf("cascade monitor replay %s: %w", d.Name, err)
+				}
+				mspeed := 0.0
+				if monBase.LinesPerSec > 0 {
+					mspeed = mcres.LinesPerSec / monBase.LinesPerSec
+				}
+				fmt.Fprintf(stderr, "  monitor+cascade: %.0f lines/s (%.2fx), %d alerts, %d flagged traces\n",
+					mcres.LinesPerSec, mspeed, mcres.Report.Alerts, mcres.Report.FlaggedTraces)
+				report.Entries = append(report.Entries, mcres.Entry(label+"+cascade"))
+			}
+			if err := cascadeArm(false); err != nil {
+				return err
+			}
 		}
 
 		for _, f := range fits {
@@ -405,6 +504,47 @@ func buildDetector(stderr io.Writer, load string, quantize bool, opts core.Optio
 		label = "int8"
 	}
 	return det, label, nil
+}
+
+// cascadeAgreement compares the paired replays of one stream: per-event
+// verdict agreement over events both runs answered, and whether the trace
+// policy flags exactly the same traces under either run's verdicts — the
+// parity contract the cascade is calibrated to hold.
+func cascadeAgreement(s *scenario.Stream, base, casc *scenario.Result) (float64, bool) {
+	policy := core.DefaultTracePolicy()
+	both, same := 0, 0
+	jobs := map[int]int{}
+	baseAnom := map[int]int{}
+	cascAnom := map[int]int{}
+	for i, ev := range s.Events {
+		id := ev.Job.TraceID
+		jobs[id]++
+		pb, pc := base.Preds[i], casc.Preds[i]
+		if pb >= 0 && pc >= 0 {
+			both++
+			if pb == pc {
+				same++
+			}
+		}
+		if pb > 0 {
+			baseAnom[id]++
+		}
+		if pc > 0 {
+			cascAnom[id]++
+		}
+	}
+	equal := true
+	for id, n := range jobs {
+		if policy.Flagged(n, baseAnom[id]) != policy.Flagged(n, cascAnom[id]) {
+			equal = false
+			break
+		}
+	}
+	agree := 1.0
+	if both > 0 {
+		agree = float64(same) / float64(both)
+	}
+	return agree, equal
 }
 
 // baselineEntry scores one stream with a fitted seed baseline and packages

@@ -30,9 +30,10 @@ func Named(name string, score func([]flowbench.Job) []float64) JobScorer {
 }
 
 // FitScorer fits the named seed baseline on train. Supported names: "pca",
-// "iforest". These are the cheap unsupervised comparison detectors the load
-// lab reports next to the transformer — and the candidate first stage of a
-// future two-stage cascade.
+// "iforest", "mlpae" (the Table IV MLP autoencoder). These are the cheap
+// unsupervised comparison detectors the load lab reports next to the
+// transformer; pca and iforest double as the first stage of the two-stage
+// cascade (internal/cascade).
 func FitScorer(name string, train []flowbench.Job, seed uint64) (JobScorer, error) {
 	switch name {
 	case "pca":
@@ -43,8 +44,13 @@ func FitScorer(name string, train []flowbench.Job, seed uint64) (JobScorer, erro
 		cfg.Seed = seed
 		f := FitIsolationForest(train, cfg)
 		return Named("iforest", f.Score), nil
+	case "mlpae":
+		cfg := DefaultAEConfig()
+		cfg.Seed = seed
+		m := FitMLPAE(train, cfg)
+		return Named("mlpae", m.Score), nil
 	}
-	return nil, fmt.Errorf("baselines: unknown scorer %q (want pca or iforest)", name)
+	return nil, fmt.Errorf("baselines: unknown scorer %q (want pca, iforest, or mlpae)", name)
 }
 
 // CalibrateThreshold returns the score cutoff above which a sample is

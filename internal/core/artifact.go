@@ -19,12 +19,16 @@
 //	        classification head)
 //	section int8 projection weights (transformer.Model.SaveQuantized wire
 //	        format)                                      [v2+, int8 only]
+//	section cascade gate as JSON (cascade.Params: stage-1 scorer parameters
+//	        and calibrated thresholds; zero-length when the detector was
+//	        saved without a gate)                        [v3+]
 //	uint32  CRC-32 (IEEE) of every preceding byte
 //
 // Version 1 artifacts (PR 4, fp32-only: no precision section, no int8
-// section) still load; version 2 is what this build writes. A wrong magic, an
-// unknown version, or a checksum mismatch fails loudly with a descriptive
-// error — old or corrupt artifacts never load silently.
+// section) and version 2 artifacts (PR 5, no cascade section) still load;
+// version 3 is what this build writes. A wrong magic, an unknown version, or
+// a checksum mismatch fails loudly with a descriptive error — old or corrupt
+// artifacts never load silently.
 package core
 
 import (
@@ -37,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cascade"
 	"repro/internal/icl"
 	"repro/internal/nn"
 	"repro/internal/prompt"
@@ -51,9 +56,9 @@ const (
 	// detector artifact).
 	artifactMagic = uint32(0x57464441)
 	// ArtifactVersion is the artifact format version this build writes.
-	// Version 1 (fp32-only) is still read; versions above ArtifactVersion
-	// are rejected at load.
-	ArtifactVersion = uint32(2)
+	// Versions 1 (fp32-only) and 2 (no cascade section) are still read;
+	// versions above ArtifactVersion are rejected at load.
+	ArtifactVersion = uint32(3)
 	// artifactMinVersion is the oldest format this build still reads.
 	artifactMinVersion = uint32(1)
 	// maxSectionBytes bounds one artifact section (the weights of the
@@ -101,10 +106,19 @@ func applyLoRAShape(m *transformer.Model, rank int, scale float32) {
 	}
 }
 
-// SaveDetector writes det to w as a detector artifact. Only detectors
-// produced by this package (Train, NewSFTDetector, NewICLDetector,
-// LoadDetector) can be saved; foreign Detector implementations are rejected.
+// SaveDetector writes det to w as a detector artifact with no cascade gate.
+// Only detectors produced by this package (Train, NewSFTDetector,
+// NewICLDetector, LoadDetector) can be saved; foreign Detector
+// implementations are rejected.
 func SaveDetector(w io.Writer, det Detector) error {
+	return SaveDetectorWithCascade(w, det, nil)
+}
+
+// SaveDetectorWithCascade writes det and an optional calibrated stage-1 gate
+// to w as one artifact, so a trained cascade ships with the detector it was
+// calibrated against (thresholds are meaningless against any other model's
+// verdicts). A nil gate writes an empty cascade section.
+func SaveDetectorWithCascade(w io.Writer, det Detector, gate *cascade.Gate) error {
 	var (
 		approach Approach
 		model    *transformer.Model
@@ -181,6 +195,15 @@ func SaveDetector(w io.Writer, det Detector) error {
 			return fmt.Errorf("core: writing quantized weights: %w", err)
 		}
 	}
+	var gateJSON []byte
+	if gate != nil {
+		if gateJSON, err = json.Marshal(gate.Params()); err != nil {
+			return err
+		}
+	}
+	if err := writeSection(mw, gateJSON); err != nil {
+		return fmt.Errorf("core: writing cascade gate: %w", err)
+	}
 	// The checksum trailer goes to w only: it covers, not includes, itself.
 	return binary.Write(w, binary.LittleEndian, h.Sum32())
 }
@@ -190,87 +213,115 @@ func SaveDetector(w io.Writer, det Detector) error {
 // config (including LoRA structure for fine-tuned ICL detectors), weights
 // loaded bit-exactly, tokenizer restored, and — for ICL — the few-shot
 // PromptCache rebuilt lazily on first batched use. Detection results are
-// bitwise identical to the detector that was saved.
+// bitwise identical to the detector that was saved. Any embedded cascade
+// gate is ignored; use LoadDetectorWithCascade to recover it.
 func LoadDetector(r io.Reader) (Detector, error) {
+	det, _, err := LoadDetectorWithCascade(r)
+	return det, err
+}
+
+// LoadDetectorWithCascade reads a detector artifact and the calibrated
+// stage-1 gate it carries, if any. v1/v2 artifacts and v3 artifacts saved
+// without a gate return a nil gate; a present-but-invalid gate section fails
+// the load (a detector served with a corrupt gate would silently misroute
+// traffic).
+func LoadDetectorWithCascade(r io.Reader) (Detector, *cascade.Gate, error) {
 	h := crc32.NewIEEE()
 	tr := io.TeeReader(r, h)
 	var magic, version uint32
 	if err := binary.Read(tr, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("core: reading artifact magic: %w", err)
+		return nil, nil, fmt.Errorf("core: reading artifact magic: %w", err)
 	}
 	if magic != artifactMagic {
-		return nil, fmt.Errorf("core: not a detector artifact (magic %#x, want %#x)", magic, artifactMagic)
+		return nil, nil, fmt.Errorf("core: not a detector artifact (magic %#x, want %#x)", magic, artifactMagic)
 	}
 	if err := binary.Read(tr, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("core: reading artifact version: %w", err)
+		return nil, nil, fmt.Errorf("core: reading artifact version: %w", err)
 	}
 	if version < artifactMinVersion || version > ArtifactVersion {
-		return nil, fmt.Errorf("core: detector artifact format v%d; this build reads v%d–v%d",
+		return nil, nil, fmt.Errorf("core: detector artifact format v%d; this build reads v%d–v%d",
 			version, artifactMinVersion, ArtifactVersion)
 	}
 	approachBytes, err := readSection(tr, "approach")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	approach := Approach(approachBytes)
 	if approach != SFT && approach != ICL {
-		return nil, fmt.Errorf("core: artifact has unknown approach %q", approach)
+		return nil, nil, fmt.Errorf("core: artifact has unknown approach %q", approach)
 	}
 	// v1 predates mixed precision and is implicitly fp32.
 	precision := PrecisionFP32
 	if version >= 2 {
 		precBytes, err := readSection(tr, "precision")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		precision = Precision(precBytes)
 		if precision != PrecisionFP32 && precision != PrecisionInt8 {
-			return nil, fmt.Errorf("core: artifact has unknown weight precision %q", precision)
+			return nil, nil, fmt.Errorf("core: artifact has unknown weight precision %q", precision)
 		}
 	}
 	cfgJSON, err := readSection(tr, "model config")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var cfg transformer.Config
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return nil, fmt.Errorf("core: decoding model config: %w", err)
+		return nil, nil, fmt.Errorf("core: decoding model config: %w", err)
 	}
 	if err := validateArtifactConfig(cfg); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tokBytes, err := readSection(tr, "tokenizer")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tok, err := tokenizer.Load(bytes.NewReader(tokBytes))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if tok.VocabSize() != cfg.VocabSize {
-		return nil, fmt.Errorf("core: artifact tokenizer has %d words, model config expects %d", tok.VocabSize(), cfg.VocabSize)
+		return nil, nil, fmt.Errorf("core: artifact tokenizer has %d words, model config expects %d", tok.VocabSize(), cfg.VocabSize)
 	}
 	metaJSON, err := readSection(tr, "metadata")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	weights, err := readSection(tr, "weights")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var quantized []byte
 	if precision == PrecisionInt8 {
 		if quantized, err = readSection(tr, "quantized weights"); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+	}
+	// v3 appends the cascade gate; v1/v2 artifacts simply have none.
+	var gateJSON []byte
+	if version >= 3 {
+		if gateJSON, err = readSection(tr, "cascade gate"); err != nil {
+			return nil, nil, err
 		}
 	}
 	sum := h.Sum32()
 	var stored uint32
 	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
-		return nil, fmt.Errorf("core: artifact truncated reading checksum: %w", err)
+		return nil, nil, fmt.Errorf("core: artifact truncated reading checksum: %w", err)
 	}
 	if stored != sum {
-		return nil, fmt.Errorf("core: artifact checksum mismatch (stored %#x, computed %#x): file corrupted?", stored, sum)
+		return nil, nil, fmt.Errorf("core: artifact checksum mismatch (stored %#x, computed %#x): file corrupted?", stored, sum)
+	}
+	var gate *cascade.Gate
+	if len(gateJSON) > 0 {
+		var gp cascade.Params
+		if err := json.Unmarshal(gateJSON, &gp); err != nil {
+			return nil, nil, fmt.Errorf("core: decoding cascade gate: %w", err)
+		}
+		if gate, err = cascade.FromParams(gp); err != nil {
+			return nil, nil, fmt.Errorf("core: rebuilding cascade gate: %w", err)
+		}
 	}
 
 	// Seed is irrelevant: every parameter is overwritten by Load below.
@@ -289,13 +340,13 @@ func LoadDetector(r io.Reader) (Detector, error) {
 	switch approach {
 	case SFT:
 		if err := loadWeights(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return NewSFTDetector(sft.NewClassifier(model, tok)), nil
+		return NewSFTDetector(sft.NewClassifier(model, tok)), gate, nil
 	default: // ICL, validated above
 		var meta iclMeta
 		if err := json.Unmarshal(metaJSON, &meta); err != nil {
-			return nil, fmt.Errorf("core: decoding ICL metadata: %w", err)
+			return nil, nil, fmt.Errorf("core: decoding ICL metadata: %w", err)
 		}
 		// Quantized artifacts never carry LoRA structure: QuantizeInt8 merges
 		// adapters into the bases before the projections are quantized.
@@ -303,9 +354,9 @@ func LoadDetector(r io.Reader) (Detector, error) {
 			applyLoRAShape(model, meta.LoRARank, meta.LoRAScale)
 		}
 		if err := loadWeights(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return NewICLDetector(icl.NewDetector(model, tok), meta.Examples), nil
+		return NewICLDetector(icl.NewDetector(model, tok), meta.Examples), gate, nil
 	}
 }
 
@@ -357,6 +408,12 @@ func validateArtifactConfig(cfg transformer.Config) error {
 // never sees a half-written artifact — the property hot-swap workflows that
 // watch an artifact path rely on.
 func SaveDetectorFile(path string, det Detector) error {
+	return SaveDetectorFileWithCascade(path, det, nil)
+}
+
+// SaveDetectorFileWithCascade is SaveDetectorFile carrying an optional
+// calibrated stage-1 gate (see SaveDetectorWithCascade).
+func SaveDetectorFileWithCascade(path string, det Detector, gate *cascade.Gate) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -369,7 +426,7 @@ func SaveDetectorFile(path string, det Detector) error {
 		tmp.Close()
 		return err
 	}
-	if err := SaveDetector(tmp, det); err != nil {
+	if err := SaveDetectorWithCascade(tmp, det, gate); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -379,18 +436,27 @@ func SaveDetectorFile(path string, det Detector) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// LoadDetectorFile reads a detector artifact from path.
+// LoadDetectorFile reads a detector artifact from path, ignoring any
+// embedded cascade gate.
 func LoadDetectorFile(path string) (Detector, error) {
+	det, _, err := LoadDetectorFileWithCascade(path)
+	return det, err
+}
+
+// LoadDetectorFileWithCascade reads a detector artifact from path along with
+// the calibrated stage-1 gate it carries (nil for v1/v2 artifacts or v3
+// artifacts saved without one).
+func LoadDetectorFileWithCascade(path string) (Detector, *cascade.Gate, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	det, err := LoadDetector(f)
+	det, gate, err := LoadDetectorWithCascade(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return det, nil
+	return det, gate, nil
 }
 
 // writeSection writes one uint32-length-prefixed byte block.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cascade"
 	"repro/internal/tensor"
 )
 
@@ -42,6 +43,7 @@ type engine struct {
 	cfg     BatchConfig
 	stats   *statsRecorder // owned by the registry slot; survives swaps
 	fb      *fallbackSlot  // owned by the registry slot; may hold no detector
+	gate    *cascadeSlot   // owned by the registry slot; may hold no gate
 	brown   brownout
 	jobs    chan *detectJob
 	batches chan []*detectJob
@@ -53,16 +55,21 @@ type engine struct {
 
 // newEngine starts the dispatcher and worker pool for det. cfg must already
 // be filled. stats may be nil (engines outside a registry slot run
-// uninstrumented); fb may be nil (no brownout tier).
-func newEngine(det Detector, cfg BatchConfig, stats *statsRecorder, fb *fallbackSlot) *engine {
+// uninstrumented); fb may be nil (no brownout tier); gate may be nil (no
+// cascade first stage).
+func newEngine(det Detector, cfg BatchConfig, stats *statsRecorder, fb *fallbackSlot, gate *cascadeSlot) *engine {
 	if fb == nil {
 		fb = &fallbackSlot{}
+	}
+	if gate == nil {
+		gate = &cascadeSlot{}
 	}
 	e := &engine{
 		det:   det,
 		cfg:   cfg,
 		stats: stats,
 		fb:    fb,
+		gate:  gate,
 		brown: brownout{
 			high: cfg.BrownoutDepth,
 			low:  cfg.BrownoutRecover,
@@ -336,15 +343,52 @@ func (w *batchWorker) runBatch(batch []*detectJob, wsDet BatchWSDetector) {
 			remap = nil // nothing repeated; skip the fan-out below
 		}
 	}
-	results := make([]Result, 0, len(uniq))
-	for lo := 0; lo < len(uniq); lo += e.cfg.MaxBatch {
-		hi := min(lo+e.cfg.MaxBatch, len(uniq))
+	// Cascade pre-filter after dedup: the stage-1 gate scores each unique
+	// sentence and short-circuits the confident band to a verdict in place;
+	// only the uncertain band (run/runIdx) reaches the transformer, and its
+	// results fan back into gated by exact index — order-preserving, like the
+	// dedup remap below.
+	run := uniq
+	var gated []Result
+	var runIdx []int
+	if g := e.gate.load(); g != nil && len(uniq) > 0 {
+		gated = make([]Result, len(uniq))
+		run = make([]string, 0, len(uniq))
+		runIdx = make([]int, 0, len(uniq))
+		for i, s := range uniq {
+			score, parsed := g.ScoreSentence(s)
+			if parsed {
+				switch g.Decide(score) {
+				case cascade.ShortNormal:
+					gated[i] = Result{Label: 0, Score: g.Prob(score)}
+					continue
+				case cascade.ShortAbnormal:
+					gated[i] = Result{Label: 1, Score: g.Prob(score)}
+					continue
+				}
+			}
+			run = append(run, s)
+			runIdx = append(runIdx, i)
+		}
+		if e.stats != nil {
+			e.stats.cascadeGated(len(uniq), len(uniq)-len(run))
+		}
+	}
+	results := make([]Result, 0, len(run))
+	for lo := 0; lo < len(run); lo += e.cfg.MaxBatch {
+		hi := min(lo+e.cfg.MaxBatch, len(run))
 		if wsDet != nil {
 			w.ws.Reset()
-			results = append(results, wsDet.DetectBatchWS(uniq[lo:hi], w.ws)...)
+			results = append(results, wsDet.DetectBatchWS(run[lo:hi], w.ws)...)
 		} else {
-			results = append(results, e.det.DetectBatch(uniq[lo:hi])...)
+			results = append(results, e.det.DetectBatch(run[lo:hi])...)
 		}
+	}
+	if gated != nil {
+		for k, i := range runIdx {
+			gated[i] = results[k]
+		}
+		results = gated
 	}
 	if e.stats != nil && len(live) > 0 {
 		waits := make([]time.Duration, len(live))

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/cascade"
 )
 
 // DefaultModel is the name under which single-model constructors
@@ -27,6 +29,7 @@ type servedModel struct {
 	tracker  *TraceTracker
 	stats    *statsRecorder
 	fallback *fallbackSlot
+	gate     *cascadeSlot
 }
 
 // Registry holds named detectors, each served by its own coalescing queue and
@@ -70,13 +73,15 @@ func (r *Registry) Add(name string, det Detector, cfg BatchConfig) error {
 	}
 	stats := &statsRecorder{}
 	fb := &fallbackSlot{}
+	gate := &cascadeSlot{}
 	r.models[name] = &servedModel{
 		name:     name,
 		cfg:      cfg,
-		eng:      newEngine(det, cfg, stats, fb),
+		eng:      newEngine(det, cfg, stats, fb, gate),
 		tracker:  NewTraceTracker(cfg.Policy, cfg.MaxTraces),
 		stats:    stats,
 		fallback: fb,
+		gate:     gate,
 	}
 	if r.def == "" {
 		r.def = name
@@ -107,7 +112,7 @@ func (r *Registry) Swap(name string, det Detector) error {
 		return fmt.Errorf("%w %q", ErrUnknownModel, name)
 	}
 	old := m.eng
-	m.eng = newEngine(det, m.cfg, m.stats, m.fallback)
+	m.eng = newEngine(det, m.cfg, m.stats, m.fallback, m.gate)
 	r.mu.Unlock()
 	old.Close() // outside the lock: draining must not block other routes
 	return nil
@@ -158,6 +163,37 @@ func (r *Registry) SetFallback(name string, det Detector) error {
 	}
 	m.fallback.store(det)
 	return nil
+}
+
+// SetCascade installs (or, with nil, removes) the calibrated stage-1 cascade
+// gate for name ("" = default model). Like the fallback, the gate lives on
+// the registry slot: it takes effect on the next coalesced batch, survives
+// hot-swaps, and its counters reset with the slot's stats. Unlike the
+// brownout fallback — which replaces the transformer wholesale under
+// sustained saturation — the cascade is always on, short-circuiting only the
+// confidently-normal band while everything uncertain still reaches the
+// transformer.
+func (r *Registry) SetCascade(name string, g *cascade.Gate) error {
+	r.mu.RLock()
+	m, err := r.lookupLocked(name)
+	r.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	m.gate.store(g)
+	return nil
+}
+
+// Cascade returns the stage-1 gate currently installed for name
+// ("" = default model), nil when the cascade is off.
+func (r *Registry) Cascade(name string) (*cascade.Gate, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, err := r.lookupLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.gate.load(), nil
 }
 
 // SetDefault changes which model unnamed requests route to.
@@ -229,6 +265,10 @@ type ModelInfo struct {
 	QueueDepth     int  `json:"queue_depth"`
 	ShedQueueDepth int  `json:"shed_queue_depth,omitempty"`
 	HasFallback    bool `json:"has_fallback,omitempty"`
+	// HasCascade reports whether a stage-1 gate is installed;
+	// CascadeScorer names its cheap scorer ("ngram", "pca", "iforest").
+	HasCascade    bool   `json:"has_cascade,omitempty"`
+	CascadeScorer string `json:"cascade_scorer,omitempty"`
 	// Stats is the slot's serving-counter snapshot: queue depth and
 	// saturation, coalescing effectiveness, and the queue-wait/compute stage
 	// latency percentiles the load lab records per scenario.
@@ -240,7 +280,7 @@ func (r *Registry) Info() []ModelInfo {
 	r.mu.RLock()
 	out := make([]ModelInfo, 0, len(r.models))
 	for _, m := range r.models {
-		out = append(out, ModelInfo{
+		info := ModelInfo{
 			Name:           m.name,
 			Approach:       m.eng.det.Approach(),
 			Precision:      DetectorPrecision(m.eng.det),
@@ -253,7 +293,12 @@ func (r *Registry) Info() []ModelInfo {
 			ShedQueueDepth: m.cfg.ShedQueueDepth,
 			HasFallback:    m.fallback.load() != nil,
 			Stats:          m.stats.snapshot(len(m.eng.jobs), m.eng.brownoutActive()),
-		})
+		}
+		if g := m.gate.load(); g != nil {
+			info.HasCascade = true
+			info.CascadeScorer = g.Scorer()
+		}
+		out = append(out, info)
 	}
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
@@ -328,6 +373,23 @@ func (r *Registry) ResetStats(name string) error {
 		return err
 	}
 	m.stats.reset()
+	return nil
+}
+
+// ResetMonitor clears the model's persistent trace tracker ("" = default
+// model): tracked windows and alert latches are dropped, so the next monitor
+// ingest flags traces as if the stream were the first one seen. Paired
+// benchmark replays (cascade off vs on over the same stream) need this —
+// without it the second replay's trace flags are latch-suppressed and its
+// flagged-trace count reads as zero.
+func (r *Registry) ResetMonitor(name string) error {
+	r.mu.RLock()
+	m, err := r.lookupLocked(name)
+	r.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	m.tracker.Reset()
 	return nil
 }
 

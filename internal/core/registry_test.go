@@ -359,6 +359,20 @@ func TestMonitorRoutesByModel(t *testing.T) {
 		}
 	}
 
+	// ResetMonitor clears the noisy model's tracker so a replayed stream
+	// starts a fresh window (and re-flags — the paired-replay contract).
+	if err := reg.ResetMonitor("noisy"); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range reg.Info() {
+		if m.ActiveTraces != 0 {
+			t.Fatalf("model %s holds %d traces after ResetMonitor", m.Name, m.ActiveTraces)
+		}
+	}
+	if err := reg.ResetMonitor("ghost"); err == nil {
+		t.Fatal("ResetMonitor(ghost) succeeded for unknown model")
+	}
+
 	// Unknown model on monitor → 404.
 	resp, err = http.Post(srv.URL+"/v1/monitor?model=ghost", "text/plain", strings.NewReader("x=1\n"))
 	if err != nil {

@@ -34,6 +34,15 @@ type EngineStats struct {
 	// BrownoutActive reports whether that tier is engaged right now.
 	Degraded       int64 `json:"degraded"`
 	BrownoutActive bool  `json:"brownout_active"`
+	// Cascade counters: of the unique sentences the stage-1 gate evaluated,
+	// how many short-circuited to a verdict without the transformer and how
+	// many passed through (unparseable lines always pass). PassFraction is
+	// Passed/Evaluated — the fraction of gated traffic that still pays full
+	// transformer cost.
+	CascadeEvaluated    int64   `json:"cascade_evaluated"`
+	CascadeShort        int64   `json:"cascade_short_circuited"`
+	CascadePassed       int64   `json:"cascade_passed"`
+	CascadePassFraction float64 `json:"cascade_pass_fraction"`
 	// BatchOccupancy is the mean number of sentences per executed batch.
 	BatchOccupancy float64 `json:"batch_occupancy"`
 	// Stage latency percentiles in milliseconds, over the most recent
@@ -64,6 +73,8 @@ type statsRecorder struct {
 	shed       int64
 	expired    int64
 	degraded   int64
+	cascEval   int64
+	cascShort  int64
 	maxQueue   int
 	queueWait  sampleRing
 	compute    sampleRing
@@ -142,6 +153,15 @@ func (s *statsRecorder) degradedServed(sentences int) {
 	s.mu.Unlock()
 }
 
+// cascadeGated records one batch's stage-1 gating: evaluated unique
+// sentences, of which short were short-circuited without the transformer.
+func (s *statsRecorder) cascadeGated(evaluated, short int) {
+	s.mu.Lock()
+	s.cascEval += int64(evaluated)
+	s.cascShort += int64(short)
+	s.mu.Unlock()
+}
+
 // computeP50 returns the recent median model time, the per-job drain estimate
 // behind Retry-After hints. Zero when no batch has run yet.
 func (s *statsRecorder) computeP50() time.Duration {
@@ -168,9 +188,16 @@ func (s *statsRecorder) snapshot(queueLen int, brownoutActive bool) EngineStats 
 		Expired:        s.expired,
 		Degraded:       s.degraded,
 		BrownoutActive: brownoutActive,
+
+		CascadeEvaluated: s.cascEval,
+		CascadeShort:     s.cascShort,
+		CascadePassed:    s.cascEval - s.cascShort,
 	}
 	if st.Batches > 0 {
 		st.BatchOccupancy = float64(st.Sentences) / float64(st.Batches)
+	}
+	if st.CascadeEvaluated > 0 {
+		st.CascadePassFraction = float64(st.CascadePassed) / float64(st.CascadeEvaluated)
 	}
 	s.mu.Unlock()
 	st.QueueWaitP50Ms = metrics.Percentile(qw, 0.50)
@@ -185,6 +212,7 @@ func (s *statsRecorder) reset() {
 	s.mu.Lock()
 	s.requests, s.sentences, s.batches, s.dedupSaved = 0, 0, 0, 0
 	s.shed, s.expired, s.degraded = 0, 0, 0
+	s.cascEval, s.cascShort = 0, 0
 	s.maxQueue = 0
 	s.queueWait = sampleRing{}
 	s.compute = sampleRing{}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cascade"
 	"repro/internal/flowbench"
 	"repro/internal/logparse"
 	"repro/internal/tensor"
@@ -276,6 +277,19 @@ func (t *TraceTracker) Evicted() int {
 	return t.evicted
 }
 
+// Reset drops all tracked traces and their alert latches, returning the
+// tracker to its freshly-constructed state (policy and window size are kept).
+// After a Reset every trace starts a new window and may flag again — the hook
+// replay harnesses use to make repeated ingests of the same stream report
+// comparable flag counts instead of latch-suppressed zeros.
+func (t *TraceTracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.order.Init()
+	t.states = make(map[int]*list.Element)
+	t.evicted = 0
+}
+
 // MonitorReport summarizes one monitor run.
 type MonitorReport struct {
 	// Processed counts successfully parsed and classified lines.
@@ -291,6 +305,11 @@ type MonitorReport struct {
 	ActiveTraces int `json:"active_traces"`
 	// EvictedTraces counts traces dropped from the window during the run.
 	EvictedTraces int `json:"evicted_traces"`
+	// CascadeEvaluated/CascadeShort count lines scored by the stage-1 gate
+	// and the subset it short-circuited without the transformer (zero when
+	// the run had no gate).
+	CascadeEvaluated int `json:"cascade_evaluated,omitempty"`
+	CascadeShort     int `json:"cascade_short_circuited,omitempty"`
 }
 
 // MonitorConfig tunes the streaming monitor.
@@ -322,6 +341,13 @@ type MonitorConfig struct {
 	Tracker *TraceTracker
 	// Sinks receive alert and trace-flagged events in input order.
 	Sinks []AlertSink
+	// Gate, when non-nil, is the calibrated stage-1 cascade
+	// (internal/cascade): each parsed job is scored before the transformer
+	// and the confident band short-circuits to a verdict, so only the
+	// uncertain band pays encoder cost. The server's ingest path leaves this
+	// nil — its chunks route through the engine queue, which applies the
+	// slot's gate — so no line is ever gated twice.
+	Gate *cascade.Gate
 }
 
 func (c *MonitorConfig) fill() {
@@ -418,6 +444,7 @@ func MonitorWith(ctx context.Context, d Detector, r io.Reader, cfg MonitorConfig
 	chunks := make(chan *monitorChunk, cfg.Workers)
 	classified := make(chan *monitorChunk, cfg.Workers)
 	wsDet, _ := d.(BatchWSDetector)
+	var cascEval, cascShort atomic.Int64
 	var workers sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		workers.Add(1)
@@ -428,17 +455,51 @@ func MonitorWith(ctx context.Context, d Detector, r io.Reader, cfg MonitorConfig
 				ws = tensor.GetWorkspace()
 				defer tensor.PutWorkspace(ws)
 			}
+			classify := func(sentences []string) []Result {
+				if wsDet != nil {
+					ws.Reset()
+					return wsDet.DetectBatchWS(sentences, ws)
+				}
+				return d.DetectBatch(sentences)
+			}
 			for c := range chunks {
+				if g := cfg.Gate; g != nil {
+					// Cascade pre-filter on the chunk path: jobs are already
+					// parsed here, so stage 1 scores them directly; only the
+					// uncertain band is rendered to sentences and classified,
+					// fanning back by index — order-preserving, mirroring the
+					// engine's dedup fan-back.
+					c.results = make([]Result, len(c.jobs))
+					var pass []string
+					var passIdx []int
+					for i, j := range c.jobs {
+						score := g.ScoreJob(j)
+						switch g.Decide(score) {
+						case cascade.ShortNormal:
+							c.results[i] = Result{Label: 0, Score: g.Prob(score)}
+						case cascade.ShortAbnormal:
+							c.results[i] = Result{Label: 1, Score: g.Prob(score)}
+						default:
+							pass = append(pass, logparse.Sentence(j))
+							passIdx = append(passIdx, i)
+						}
+					}
+					if len(pass) > 0 {
+						res := classify(pass)
+						for k, i := range passIdx {
+							c.results[i] = res[k]
+						}
+					}
+					cascEval.Add(int64(len(c.jobs)))
+					cascShort.Add(int64(len(c.jobs) - len(pass)))
+					classified <- c
+					continue
+				}
 				sentences := make([]string, len(c.jobs))
 				for i, j := range c.jobs {
 					sentences[i] = logparse.Sentence(j)
 				}
-				if wsDet != nil {
-					ws.Reset()
-					c.results = wsDet.DetectBatchWS(sentences, ws)
-				} else {
-					c.results = d.DetectBatch(sentences)
-				}
+				c.results = classify(sentences)
 				classified <- c
 			}
 		}()
@@ -628,5 +689,7 @@ loop:
 	report.Malformed = malformed
 	report.ActiveTraces = tracker.Len()
 	report.EvictedTraces = tracker.Evicted() - evictedBefore
+	report.CascadeEvaluated = int(cascEval.Load())
+	report.CascadeShort = int(cascShort.Load())
 	return report, readErr
 }

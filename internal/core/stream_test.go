@@ -321,6 +321,29 @@ func TestTraceTrackerFlagOnce(t *testing.T) {
 	}
 }
 
+// TestTraceTrackerReset checks Reset drops windows, latches, and the eviction
+// count, so a replayed stream flags again — what the load lab's paired
+// cascade replays rely on for comparable flagged-trace counts.
+func TestTraceTrackerReset(t *testing.T) {
+	tr := NewTraceTracker(TracePolicy{MinAnomalous: 1, MinFraction: 1.5}, 2)
+	tr.Observe(1, true)
+	tr.Observe(2, false)
+	tr.Observe(3, false) // evicts trace 1
+	if tr.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", tr.Evicted())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Evicted() != 0 {
+		t.Fatalf("after Reset: len %d, evicted %d, want 0/0", tr.Len(), tr.Evicted())
+	}
+	if _, ok := tr.Verdict(2); ok {
+		t.Fatal("trace survived Reset")
+	}
+	if _, newly := tr.Observe(1, true); !newly {
+		t.Fatal("latch survived Reset: replayed trace did not re-flag")
+	}
+}
+
 // TestMonitorContextCancel checks a cancelled context stops the run between
 // lines with ctx.Err and a partial report rather than draining the whole
 // stream.

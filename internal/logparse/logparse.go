@@ -111,6 +111,71 @@ func ParseSentence(s string) (flowbench.Job, error) {
 	return j, nil
 }
 
+// sentenceFeatIdx maps feature names to their index, built once so the
+// zero-allocation scanner can look names up without per-call map builds.
+var sentenceFeatIdx = func() map[string]int {
+	m := make(map[string]int, flowbench.NumFeatures)
+	for i, n := range flowbench.FeatureNames {
+		m[n] = i
+	}
+	return m
+}()
+
+// isSentenceSpace matches the whitespace Sentence/Prefix emit (and the
+// strings.Fields superset ParseSentence accepts for ASCII input).
+func isSentenceSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// ScanSentence is ParseSentence's zero-allocation twin: it parses a feature
+// sentence into feats (resetting it first) and reports whether the sentence
+// was well formed. The cascade's stage-1 scoring path calls this per log
+// line, so it must not allocate; unparseable lines return false and are
+// passed through to the transformer rather than gated.
+//
+//repro:hotpath
+func ScanSentence(s string, feats *[flowbench.NumFeatures]float64) bool {
+	for i := range feats {
+		feats[i] = 0
+	}
+	idx := -1
+	field := 0 // position within the current `<feature> is <value>` triple
+	pos := 0
+	for pos < len(s) {
+		for pos < len(s) && isSentenceSpace(s[pos]) {
+			pos++
+		}
+		if pos == len(s) {
+			break
+		}
+		start := pos
+		for pos < len(s) && !isSentenceSpace(s[pos]) {
+			pos++
+		}
+		tok := s[start:pos]
+		switch field {
+		case 0:
+			i, known := sentenceFeatIdx[tok]
+			if !known {
+				return false
+			}
+			idx = i
+		case 1:
+			if tok != "is" {
+				return false
+			}
+		default:
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return false
+			}
+			feats[idx] = v
+		}
+		field = (field + 1) % 3
+	}
+	return field == 0
+}
+
 // LogLine renders a job as a raw key=value log entry, the format produced by
 // the workflow management system before parsing.
 func LogLine(j flowbench.Job) string {

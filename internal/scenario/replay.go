@@ -108,12 +108,25 @@ type Failures struct {
 func (f Failures) Total() int { return f.Timeout + f.Shed + f.Server + f.Transport }
 
 // PhaseLatencies are client p99 latencies partitioned by the fault window:
-// before it opens, while it is active, and after it closes. Recovery is the
-// post/pre ratio the chaos gate bounds.
+// before it opens, while it is active, and after it closes.
+//
+// PostP99Ms alone can lie about recovery: the replay is open-loop, so a
+// backlog built during the fault window keeps inflating post-window
+// latencies until it drains, and when the drain outlasts the schedule the
+// post p99 sits at backlog height with zero post-window faults (BENCH_7's
+// chaos/near-dup row: post 2087ms ≈ during 2085ms). RecoveryMs is the
+// drain-aware complement, derived from completion instants (scheduled
+// offset + measured latency): the last over-bound completion marks the
+// moment the server was back to answering under the pre-fault bound
+// (1.2×pre p99 + 50ms cushion), and RecoveryMs is that instant minus the
+// window close. 0 means recovery by the time the window shut; −1 means the
+// run's tail never got back under the bound — an honest "did not recover
+// within this run" instead of a flattering percentile.
 type PhaseLatencies struct {
 	PreP99Ms    float64 `json:"pre_p99_ms"`
 	DuringP99Ms float64 `json:"during_p99_ms"`
 	PostP99Ms   float64 `json:"post_p99_ms"`
+	RecoveryMs  float64 `json:"recovery_ms"`
 }
 
 // Result is one scenario replay's measurements.
@@ -139,6 +152,10 @@ type Result struct {
 	// are reset before it starts): queue saturation and stage latencies.
 	Server  core.EngineStats
 	Quality Quality
+	// Preds holds the server's hard per-event verdicts in stream order, -1
+	// where the event's request failed. Paired replays (cascade on vs off)
+	// compare these for verdict agreement; report rows never serialize them.
+	Preds []int
 }
 
 // sample is one scored event for quality evaluation.
@@ -246,9 +263,13 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 		res.LinesPerSec = float64(len(s.Events)) / wall.Seconds()
 	}
 	var samples []sample
+	res.Preds = make([]int, len(s.Events))
 	for i, ev := range s.Events {
 		if okEv[i] {
+			res.Preds[i] = preds[i]
 			samples = append(samples, sample{label: ev.Job.Label, pred: preds[i], trace: ev.Job.TraceID, score: scores[i]})
+		} else {
+			res.Preds[i] = -1
 		}
 	}
 	for ri, ok := range reqOK {
@@ -270,8 +291,10 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 	}
 	if w := cfg.FaultWindow; w.End > 0 {
 		var pre, during, post []float64
+		offsets := make([]float64, len(reqs))
 		for ri, rq := range reqs {
 			sched := time.Duration(float64(rq.at) / cfg.Speed)
+			offsets[ri] = float64(sched) / float64(time.Millisecond)
 			switch {
 			case sched < w.Start:
 				pre = append(pre, latencies[ri])
@@ -286,12 +309,44 @@ func Replay(ctx context.Context, s *Stream, cfg ReplayConfig) (*Result, error) {
 			DuringP99Ms: metrics.Percentile(during, 0.99),
 			PostP99Ms:   metrics.Percentile(post, 0.99),
 		}
+		bound := 1.2*res.Phases.PreP99Ms + 50
+		res.Phases.RecoveryMs = drainRecovery(offsets, latencies, float64(w.End)/float64(time.Millisecond), bound)
 	}
 	res.Quality = qualityOf(samples, cfg.Policy)
 	if st, err := fetchServerStats(ctx, cfg); err == nil {
 		res.Server = st
 	}
 	return res, nil
+}
+
+// drainRecovery computes PhaseLatencies.RecoveryMs from per-request
+// scheduled offsets and latencies (both in milliseconds). A request
+// completes at offset+latency; the server has recovered once every
+// completion after some instant is under bound. That instant is the latest
+// over-bound completion — provided at least one under-bound request
+// completed after it, which is the evidence recovery was actually observed
+// rather than the run simply ending mid-backlog.
+func drainRecovery(offsets, latencies []float64, windowEndMs, bound float64) float64 {
+	last := -1.0 // completion instant of the latest over-bound request
+	for i := range offsets {
+		if end := offsets[i] + latencies[i]; latencies[i] > bound && end > last {
+			last = end
+		}
+	}
+	observed := false
+	for i := range offsets {
+		if end := offsets[i] + latencies[i]; end > last && latencies[i] <= bound {
+			observed = true
+			break
+		}
+	}
+	if !observed {
+		return -1
+	}
+	if last <= windowEndMs {
+		return 0
+	}
+	return last - windowEndMs
 }
 
 // MonitorResult is one scenario replay through the streaming monitor

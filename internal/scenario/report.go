@@ -122,6 +122,14 @@ func (r *Result) Entry(detector string) BenchEntry {
 		e.Extra["pre_p99_ms"] = r.Phases.PreP99Ms
 		e.Extra["during_p99_ms"] = r.Phases.DuringP99Ms
 		e.Extra["post_p99_ms"] = r.Phases.PostP99Ms
+		e.Extra["recovery_ms"] = r.Phases.RecoveryMs
+	}
+	// Cascade columns appear only when the stage-1 gate actually evaluated
+	// traffic, so cascade-off rows keep their historical shape.
+	if r.Server.CascadeEvaluated > 0 {
+		e.Extra["cascade_evaluated"] = float64(r.Server.CascadeEvaluated)
+		e.Extra["cascade_short_circuited"] = float64(r.Server.CascadeShort)
+		e.Extra["cascade_pass_fraction"] = r.Server.CascadePassFraction
 	}
 	return e
 }
@@ -132,7 +140,7 @@ func (m *MonitorResult) Entry(detector string) BenchEntry {
 	if m.Events > 0 {
 		nsPerLine = m.WallSeconds * 1e9 / float64(m.Events)
 	}
-	return BenchEntry{
+	e := BenchEntry{
 		Name:    fmt.Sprintf("LoadLabMonitor/%s/%s", m.Scenario, detector),
 		NsPerOp: nsPerLine,
 		Extra: map[string]float64{
@@ -143,4 +151,9 @@ func (m *MonitorResult) Entry(detector string) BenchEntry {
 			"malformed":      float64(m.Report.Malformed),
 		},
 	}
+	if m.Report.CascadeEvaluated > 0 {
+		e.Extra["cascade_evaluated"] = float64(m.Report.CascadeEvaluated)
+		e.Extra["cascade_short_circuited"] = float64(m.Report.CascadeShort)
+	}
+	return e
 }

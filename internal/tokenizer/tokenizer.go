@@ -34,10 +34,10 @@ const (
 
 var specialTokens = []string{"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[BOS]", "[EOS]"}
 
-// numBuckets is the count of logarithmic magnitude buckets for numeric
+// NumBuckets is the count of logarithmic magnitude buckets for numeric
 // tokens. Quarter-decade resolution distinguishes the ≈2× shifts injected by
 // the CPU/HDD anomaly templates while keeping the vocabulary small.
-const numBuckets = 48
+const NumBuckets = 48
 
 // bucketsPerDecade controls numeric resolution (4 ⇒ each bucket spans 10^¼ ≈ 1.78×).
 const bucketsPerDecade = 4
@@ -48,22 +48,35 @@ type Tokenizer struct {
 	words []string
 }
 
+// NumBucket returns the magnitude-bucket index in [0, NumBuckets) for a
+// numeric value, or -1 for NaN/Inf (which NumToken renders as [UNK]). This is
+// the exact discretization the transformer sees for every numeral, exported
+// so stage-1 cascade scoring (internal/cascade) can key on the same view of a
+// job that stage 2 classifies. Alloc-free.
+//
+//repro:hotpath
+func NumBucket(v float64) int {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	a := math.Abs(v)
+	if a < 1 {
+		return 0
+	}
+	b := 1 + int(math.Log10(a)*bucketsPerDecade)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
 // NumToken returns the magnitude-bucket token for a numeric value.
 // Negative values share the bucket of their magnitude with a sign prefix
 // handled as a separate "-" token by Tokenize; v here is the absolute value.
 func NumToken(v float64) string {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
+	b := NumBucket(v)
+	if b < 0 {
 		return "[UNK]"
-	}
-	a := math.Abs(v)
-	var b int
-	if a < 1 {
-		b = 0
-	} else {
-		b = 1 + int(math.Log10(a)*bucketsPerDecade)
-		if b >= numBuckets {
-			b = numBuckets - 1
-		}
 	}
 	return fmt.Sprintf("<num%d>", b)
 }
@@ -125,7 +138,7 @@ func Build(corpus []string) *Tokenizer {
 	}
 	var words []string
 	words = append(words, specialTokens...)
-	for b := 0; b < numBuckets; b++ {
+	for b := 0; b < NumBuckets; b++ {
 		words = append(words, fmt.Sprintf("<num%d>", b))
 	}
 	inVocab := make(map[string]bool, len(words))
@@ -254,7 +267,7 @@ func Load(r io.Reader) (*Tokenizer, error) {
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("tokenizer: reading vocabulary size: %w", err)
 	}
-	reserved := len(specialTokens) + numBuckets
+	reserved := len(specialTokens) + NumBuckets
 	if int(count) < reserved || count > maxVocabWords {
 		return nil, fmt.Errorf("tokenizer: vocabulary of %d words is implausible (need at least %d, at most %d)",
 			count, reserved, maxVocabWords)
@@ -293,7 +306,7 @@ func Load(r io.Reader) (*Tokenizer, error) {
 			return nil, fmt.Errorf("tokenizer: vocabulary index %d is %q, want special token %q", i, words[i], want)
 		}
 	}
-	for b := 0; b < numBuckets; b++ {
+	for b := 0; b < NumBuckets; b++ {
 		i := len(specialTokens) + b
 		if want := fmt.Sprintf("<num%d>", b); words[i] != want {
 			return nil, fmt.Errorf("tokenizer: vocabulary index %d is %q, want numeric bucket %q", i, words[i], want)
