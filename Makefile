@@ -36,7 +36,17 @@ SCENARIO_OUT := BENCH_9.json
 # p99. chaos-smoke is the seconds-scale CI subset.
 CHAOS_OUT := BENCH_7.json
 
-.PHONY: check fmt vet build test lint fuzz-smoke bench bench-all bench-scenarios loadlab-smoke cascade-smoke bench-chaos chaos-smoke
+# The replicated-serving suite `make bench-gateway` records to BENCH_10.json:
+# every scenario replayed twice — once against a single in-process anomalyd,
+# once against three replicas behind the anomalygw gateway (consistent-hash
+# trace routing, health-checked ejection, hedged retries; docs/RELIABILITY.md)
+# — as paired rows (`label` vs `label+gw`) carrying lines/sec, client p99,
+# and the error rate, plus the monitor path both ways for steady (the fleet-
+# merged flagged-trace counts must match the single node's). gateway-smoke is
+# the seconds-scale CI subset.
+GATEWAY_OUT := BENCH_10.json
+
+.PHONY: check fmt vet build test lint fuzz-smoke bench bench-all bench-scenarios loadlab-smoke cascade-smoke bench-chaos chaos-smoke bench-gateway gateway-smoke
 
 check: fmt vet build test lint
 
@@ -149,3 +159,26 @@ chaos-smoke:
 		-workflow predict-future-sales -seed 6 -scenarios chaos-steady -monitor none -baselines none \
 		-shed-depth 64 -brownout 48 -deadline-ms 500 -retries \
 		-out chaos-smoke.json
+
+# bench-gateway replays every scenario single-node vs a 3-replica gateway
+# fleet (paired rows into $(GATEWAY_OUT)). Speed 2 keeps the open-loop
+# arrival rate near fleet capacity: the gateway ejects saturated replicas
+# (503 /readyz) and sheds at the boundary, so an over-saturating schedule —
+# where the single node merely queues — would record mostly-429 gateway rows
+# and shed-inflated lines/sec instead of a like-for-like comparison at a
+# near-zero error budget.
+bench-gateway:
+	$(GO) run ./cmd/loadlab -speed 2 -gateway 3 -baselines none -out $(GATEWAY_OUT)
+	@echo "recorded $(GATEWAY_OUT)"
+
+# gateway-smoke is the replicated-serving CI gate: the loadlab-smoke config
+# with three replicas behind the gateway, paired single-node vs +gw rows in
+# seconds. Diffs against the recorded gateway-smoke-baseline.json via
+# scripts/benchdiff: deterministic columns (events, requests, replicas, the
+# monitor path's alerts and flagged traces) should not move; lines/sec and
+# latency move with the runner.
+gateway-smoke:
+	$(GO) run ./cmd/loadlab -events 200 -speed 200 -train 150 -pretrain 60 -epochs 1 \
+		-workflow predict-future-sales -seed 6 -scenarios steady,near-dup -gateway 3 \
+		-baselines none -out gateway-smoke.json
+	scripts/benchdiff gateway-smoke-baseline.json gateway-smoke.json

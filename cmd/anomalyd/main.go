@@ -106,6 +106,7 @@ func main() {
 		faultsSpec   = flag.String("faults", "", `fault-injection campaign armed at listen, e.g. "seed=7,every=5,kinds=latency+error,window=10s:30s,path=/v1/" — chaos drills only`)
 		cascScorer   = flag.String("cascade", "", "two-stage inference: stage-1 scorer (ngram, pca, or iforest) short-circuits confidently-normal lines before the transformer (empty = off)")
 		cascRecall   = flag.Float64("cascade-recall", cascade.DefaultTargetRecall, "cascade calibration target: fraction of flagged calibration lines that must still reach the transformer")
+		instance     = flag.String("instance", "", "replica name stamped on responses (X-Replica) and /metrics (repro_instance_info) when serving behind anomalygw")
 	)
 	flag.Parse()
 	if *trainOut != "" && *load != "" {
@@ -257,6 +258,9 @@ func main() {
 	defer stop()
 
 	handler := core.NewServerRegistry(reg)
+	if *instance != "" {
+		handler.SetInstance(*instance)
+	}
 	var root http.Handler = handler
 	if *faultsSpec != "" {
 		fc, err := faults.Parse(*faultsSpec)

@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/flowbench"
+	"repro/internal/gateway"
 	"repro/internal/logparse"
 	"repro/internal/resilience"
 	"repro/internal/scenario"
@@ -88,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		retries   = fs.Bool("retries", false, "send replay requests through the resilience retry client (backoff, budget, Retry-After)")
 		cascName  = fs.String("cascade", "", "two-stage inference drill: replay each non-chaos scenario twice, stage-1 gate (ngram, pca, or iforest) off then on, as paired report rows (in-process only)")
 		cascRec   = fs.Float64("cascade-recall", cascade.DefaultTargetRecall, "cascade calibration target recall")
+		gatewayN  = fs.Int("gateway", 0, "replicated-serving drill: boot N in-process replicas behind an anomalygw gateway and replay each non-chaos scenario against it too, as paired single-node vs fleet rows (in-process only, N >= 2)")
+		gwKill    = fs.Bool("gateway-kill", false, "with -gateway: blackhole one replica for the middle third of each gateway replay, exercising ejection, re-routing, and re-admission")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +100,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%-12s %s\n", d.Name, d.Description)
 		}
 		return nil
+	}
+
+	if *gatewayN == 1 {
+		return fmt.Errorf("-gateway needs at least 2 replicas to route between")
+	}
+	if *gwKill && *gatewayN == 0 {
+		return fmt.Errorf("-gateway-kill needs -gateway N")
+	}
+	if *gatewayN > 0 && *cascName != "" {
+		return fmt.Errorf("-gateway and -cascade both pair rows against the base replay; run them separately")
 	}
 
 	defs, chaosSet, err := pickScenarios(*names)
@@ -138,6 +151,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// flagged-trace counts instead of latch-suppressed zeros; nil against a
 	// remote server.
 	var monReset func() error
+	// Gateway drill state (nil/empty unless -gateway N): the fleet's base
+	// URL, a fleet-wide tracker reset, and the blackhole switch for -gateway-kill.
+	var gwURL string
+	var gwReset func() error
+	var gwKiller *killGate
+	remote := baseURL != ""
 	if baseURL == "" {
 		det, defLabel, err := buildDetector(stderr, *load, *quantize, core.Options{
 			Approach:      core.SFT,
@@ -209,12 +228,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			srv.Close()
 		}
 		fmt.Fprintf(stderr, "serving %s in-process at %s\n", label, baseURL)
+		if *gatewayN > 0 {
+			var gwCleanup func()
+			gwURL, gwReset, gwKiller, gwCleanup, err = bootGatewayFleet(det, bcfg, *gatewayN, *gwKill)
+			if err != nil {
+				cleanup()
+				return err
+			}
+			prev := cleanup
+			cleanup = func() {
+				gwCleanup()
+				prev()
+			}
+			fmt.Fprintf(stderr, "gateway fleet: %d replicas behind %s\n", *gatewayN, gwURL)
+		}
 	} else {
 		if len(chaosSet) > 0 {
 			return fmt.Errorf("chaos replays need the in-process server (faults are injected into its handler); drop -addr or use anomalyd -faults")
 		}
 		if *cascName != "" {
 			return fmt.Errorf("-cascade pairs off/on replays by toggling the in-process model's gate; drop -addr (a remote anomalyd arms its own cascade with -cascade)")
+		}
+		if *gatewayN > 0 {
+			return fmt.Errorf("-gateway boots its fleet in-process; drop -addr (a remote fleet is driven by pointing -addr at anomalygw)")
 		}
 		if label == "" {
 			label = "remote"
@@ -264,9 +300,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			scfg.FaultWindow = plan.Window
 			gate.set(inj)
 		}
-		if *retries {
+		if *retries || remote {
 			// A fresh client per scenario keeps the retry counters per-row.
-			scfg.Retry = &resilience.Client{Policy: resilience.DefaultPolicy(*seed)}
+			// Remote replays always ride the resilience client: a WAN hop has
+			// transient failures a lab loopback doesn't, and the budget keeps
+			// a sick server from being hammered by its own benchmark.
+			scfg.Retry = retryClient(*seed)
 		}
 		fmt.Fprintf(stderr, "replaying %s: %d events over %s (speed %gx)\n",
 			displayName, len(s.Events), s.Duration().Round(time.Millisecond), *speed)
@@ -338,7 +377,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			ccfg := rcfg
 			if *retries {
-				ccfg.Retry = &resilience.Client{Policy: resilience.DefaultPolicy(*seed)}
+				ccfg.Retry = retryClient(*seed)
 			}
 			cres, err := scenario.Replay(ctx, s, ccfg)
 			if err != nil {
@@ -381,6 +420,65 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 
+		// Paired gateway replay: the same stream against the replicated fleet,
+		// so BENCH rows diff single-node vs gateway directly (throughput and
+		// tail latency at the same error budget). Chaos variants stay
+		// unpaired — their injector state is consumed by the first replay.
+		if gwURL != "" && inj == nil {
+			gcfg := rcfg
+			gcfg.BaseURL = gwURL
+			if *retries {
+				gcfg.Retry = retryClient(*seed)
+			}
+			var killed func()
+			if gwKiller != nil {
+				killed = gwKiller.schedule(time.Duration(float64(s.Duration()) / *speed))
+			}
+			gres, err := scenario.Replay(ctx, s, gcfg)
+			if killed != nil {
+				killed() // cancel timers, revive the victim for the next row
+			}
+			if err != nil {
+				return fmt.Errorf("gateway replay %s: %w", displayName, err)
+			}
+			if gres.Errors > 0 {
+				fmt.Fprintf(stderr, "  %d/%d gateway requests failed (timeout %d, shed %d, server %d, transport %d)\n",
+					gres.Errors, gres.Requests, gres.Failures.Timeout, gres.Failures.Shed, gres.Failures.Server, gres.Failures.Transport)
+			}
+			gspeed := 0.0
+			if res.LinesPerSec > 0 {
+				gspeed = gres.LinesPerSec / res.LinesPerSec
+			}
+			errRate := 0.0
+			if gres.Requests > 0 {
+				errRate = float64(gres.Errors) / float64(gres.Requests)
+			}
+			fmt.Fprintf(stderr, "  %s+gw: %.0f lines/s (%.2fx), client p99 %.1fms, errors %.2f%% (%d replicas)\n",
+				label, gres.LinesPerSec, gspeed, gres.ClientP99Ms, 100*errRate, *gatewayN)
+			gentry := gres.Entry(label + "+gw")
+			gentry.Extra["replicas"] = float64(*gatewayN)
+			gentry.Extra["error_rate"] = errRate
+			if gwKiller != nil {
+				gentry.Extra["replica_killed"] = 1
+			}
+			report.Entries = append(report.Entries, gentry)
+
+			if monitorSet[d.Name] {
+				if err := gwReset(); err != nil {
+					return err
+				}
+				mcfg := rcfg
+				mcfg.BaseURL = gwURL
+				gmres, err := scenario.ReplayMonitor(ctx, s, mcfg)
+				if err != nil {
+					return fmt.Errorf("gateway monitor replay %s: %w", d.Name, err)
+				}
+				fmt.Fprintf(stderr, "  monitor+gw: %.0f lines/s, %d alerts, %d flagged traces\n",
+					gmres.LinesPerSec, gmres.Report.Alerts, gmres.Report.FlaggedTraces)
+				report.Entries = append(report.Entries, gmres.Entry(label+"+gw"))
+			}
+		}
+
 		for _, f := range fits {
 			report.Entries = append(report.Entries, baselineEntry(s, f.scorer, f.cutoff))
 		}
@@ -402,6 +500,120 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "report written to %s (%d rows)\n", *out, len(report.Entries))
 	return nil
+}
+
+// retryClient builds one replay's resilience client: deterministic backoff
+// schedule plus a Finagle-style retry budget, so a struggling server is never
+// hammered by its own benchmark.
+func retryClient(seed uint64) *resilience.Client {
+	return &resilience.Client{
+		Policy: resilience.DefaultPolicy(seed),
+		Budget: resilience.NewBudget(32, 0.1),
+	}
+}
+
+// bootGatewayFleet builds the -gateway drill: n in-process replicas (each
+// its own registry and HTTP server, all serving the shared detector — batch
+// scoring is read-only) behind a gateway with test-paced health checking.
+// With kill armed, the last replica sits behind a killGate blackhole.
+func bootGatewayFleet(det core.Detector, bcfg core.BatchConfig, n int, kill bool) (gwURL string, reset func() error, killer *killGate, cleanup func(), err error) {
+	var cleanups []func()
+	cleanup = func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(e error) (string, func() error, *killGate, func(), error) {
+		cleanup()
+		return "", nil, nil, nil, e
+	}
+	var urls []string
+	var regs []*core.Registry
+	for i := 0; i < n; i++ {
+		reg := core.NewRegistry()
+		if err := reg.Add(core.DefaultModel, det, bcfg); err != nil {
+			return fail(err)
+		}
+		srv := core.NewServerRegistry(reg)
+		srv.SetInstance(fmt.Sprintf("r%d", i))
+		var h http.Handler = srv
+		if kill && i == n-1 {
+			killer = &killGate{next: srv}
+			h = killer
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return fail(err)
+		}
+		hsrv := &http.Server{Handler: h}
+		go hsrv.Serve(ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+		regs = append(regs, reg)
+		cleanups = append(cleanups, func() {
+			hsrv.Close()
+			srv.Close()
+		})
+	}
+	gw, err := gateway.New(context.Background(), gateway.Config{
+		Replicas:       urls,
+		HealthInterval: 50 * time.Millisecond, // compressed replays need compressed ejection
+	})
+	if err != nil {
+		return fail(err)
+	}
+	cleanups = append(cleanups, gw.Close)
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	ghsrv := &http.Server{Handler: gw}
+	go ghsrv.Serve(gln)
+	cleanups = append(cleanups, func() { ghsrv.Close() })
+	reset = func() error {
+		for _, reg := range regs {
+			if err := reg.ResetMonitor(core.DefaultModel); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return "http://" + gln.Addr().String(), reset, killer, cleanup, nil
+}
+
+// killGate is the -gateway-kill blackhole: while dead, every connection is
+// hijacked and slammed shut (the gateway sees transport errors, exactly like
+// a crashed replica), falling back to 503 where hijacking is unavailable.
+type killGate struct {
+	next http.Handler
+	dead atomic.Bool
+}
+
+func (k *killGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	k.next.ServeHTTP(w, r)
+}
+
+// schedule arms one replay's kill window — dead from 1/3 to 2/3 of the
+// compressed wall duration — and returns a func that cancels the timers and
+// revives the victim (idempotent; call it when the replay ends).
+func (k *killGate) schedule(wall time.Duration) func() {
+	killT := time.AfterFunc(wall/3, func() { k.dead.Store(true) })
+	reviveT := time.AfterFunc(2*wall/3, func() { k.dead.Store(false) })
+	return func() {
+		killT.Stop()
+		reviveT.Stop()
+		k.dead.Store(false)
+	}
 }
 
 // faultGate is the swap-in point for chaos campaigns: an atomically

@@ -232,6 +232,12 @@ type Server struct {
 
 	bus *alertBus
 
+	// instance is this replica's identity in multi-replica deployments
+	// (anomalyd -instance): stamped on every response as X-Replica and
+	// exported as the repro_instance_info label on /metrics, so a gateway
+	// drill can attribute responses to the replica that answered.
+	instance string
+
 	streams     chan struct{} // closed by CloseStreams: terminates SSE handlers
 	streamsOnce sync.Once
 }
@@ -268,8 +274,14 @@ func NewServerRegistry(reg *Registry) *Server {
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
+
+// SetInstance names this replica for multi-replica deployments: responses
+// carry it as X-Replica and /metrics exports it as repro_instance_info.
+// Call before serving traffic ("" leaves both off).
+func (s *Server) SetInstance(name string) { s.instance = name }
 
 // Registry returns the server's model registry, through which models are
 // added, swapped, and removed while serving.
@@ -435,7 +447,12 @@ func (d *queueDetector) DetectJob(j flowbench.Job) Result {
 func (d *queueDetector) Approach() Approach { return d.inner.Approach() }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.instance != "" {
+		w.Header().Set("X-Replica", s.instance)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // healthResponse is the /healthz body: the default model's serving knobs
 // (kept flat for single-model deployments and monitoring probes) plus the

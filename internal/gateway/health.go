@@ -1,0 +1,63 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// healthLoop actively probes one replica's /readyz on HealthInterval and
+// drives its admission state with hysteresis: EjectAfter consecutive
+// failures take it out of rotation, ReadmitAfter consecutive successes
+// bring it back. /readyz (not /healthz) is deliberate — a live-but-saturated
+// replica answers 503 there, so saturation ejects it from rotation exactly
+// like a crash does, and the gateway's admission control (shed when nothing
+// is routable) becomes "shed when the whole fleet is saturated".
+//
+// Probe state (probeFails/probeOKs) is owned by this goroutine; only the
+// healthy bit is shared, atomically.
+func (g *Gateway) healthLoop(rep *replica) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.closed:
+			return
+		case <-t.C:
+		}
+		if g.probe(rep) {
+			rep.probeFails = 0
+			rep.probeOKs++
+			if !rep.healthy.Load() && rep.probeOKs >= g.cfg.ReadmitAfter {
+				rep.healthy.Store(true)
+			}
+		} else {
+			rep.probeOKs = 0
+			rep.probeFails++
+			if rep.healthy.Load() && rep.probeFails >= g.cfg.EjectAfter {
+				rep.healthy.Store(false)
+				rep.ejections.Add(1)
+			}
+		}
+	}
+}
+
+// probe is one /readyz round trip, bounded by HealthTimeout, derived from
+// the gateway's root context (not a request's — probes outlive requests).
+func (g *Gateway) probe(rep *replica) bool {
+	ctx, cancel := context.WithTimeout(g.ctx, g.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

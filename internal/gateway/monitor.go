@@ -1,0 +1,385 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MonitorDemux is the gateway's addendum to a merged monitor report: where
+// the lines went and what the failover did. It rides under "gateway" in the
+// response, next to the single-node-shaped merged report.
+type MonitorDemux struct {
+	// Lines maps replica URL to the lines routed there this request.
+	Lines map[string]int64 `json:"lines"`
+	// Rerouted counts lines that landed on a successor because an earlier
+	// preference failed mid-stream; Lost counts lines no surviving replica
+	// accepted.
+	Rerouted int64 `json:"rerouted"`
+	Lost     int64 `json:"lost"`
+	// Errors maps failed replica URLs to what killed their substream.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// MonitorAggregate is the gateway's POST /v1/monitor body: the fleet-merged
+// report in the single-node shape (scenario.ReplayMonitor and other
+// core.MonitorResponse decoders work unchanged) plus the demux breakdown.
+type MonitorAggregate struct {
+	core.MonitorResponse
+	Gateway MonitorDemux `json:"gateway"`
+}
+
+// monSub is one replica's streaming substream of a demuxed monitor request:
+// lines are written into the pipe; a goroutine runs the POST and decodes the
+// replica's report when the stream ends (or fails, failing the sub so the
+// router stops picking it).
+type monSub struct {
+	rep    *replica
+	pw     *io.PipeWriter
+	done   chan struct{}
+	lines  int64
+	failed atomic.Bool
+
+	// set by the POST goroutine before done closes
+	resp   core.MonitorResponse
+	status int
+	err    error
+}
+
+func (s *monSub) fail(err error) {
+	if s.failed.CompareAndSwap(false, true) && s.err == nil {
+		s.err = err
+	}
+}
+
+// openMonSub starts one replica's substream under the request's context.
+func (g *Gateway) openMonSub(ctx context.Context, rep *replica, query string) *monSub {
+	pr, pw := io.Pipe()
+	s := &monSub{rep: rep, pw: pw, done: make(chan struct{})}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/monitor"+query, pr)
+	if err != nil {
+		s.fail(err)
+		close(s.done)
+		return s
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	go func() {
+		defer close(s.done)
+		resp, err := g.cfg.Client.Do(req)
+		if err != nil {
+			s.fail(err)
+			rep.failures.Add(1)
+			rep.breaker.Record(false)
+			// Unblock writers: every pending and future Write on the pipe
+			// fails, which is what routes this sub's traces to a successor.
+			pr.CloseWithError(err)
+			return
+		}
+		defer resp.Body.Close()
+		s.status = resp.StatusCode
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&s.resp); err != nil && s.err == nil {
+			s.err = err
+		}
+	}()
+	return s
+}
+
+// handleMonitor is POST /v1/monitor, demuxed: each log line routes to the
+// replica owning its trace on the hash ring, as one streaming substream per
+// replica, so a trace's TraceTracker window accumulates on exactly one
+// replica. When a substream dies mid-request (replica killed), the lines it
+// owned re-route to each trace's next ring preference — deterministically,
+// so every affected trace lands on exactly one surviving replica. The
+// response merges the per-replica reports.
+func (g *Gateway) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	g.requests.Add(1)
+
+	var body io.Reader = r.Body
+	if strings.Contains(r.Header.Get("Content-Type"), "application/json") {
+		var req core.MonitorRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		for i, line := range req.Lines {
+			if strings.ContainsRune(line, '\n') {
+				http.Error(w, fmt.Sprintf("bad request: lines[%d] contains a newline", i), http.StatusBadRequest)
+				return
+			}
+		}
+		body = strings.NewReader(strings.Join(req.Lines, "\n"))
+	}
+
+	// Pass the routing-relevant query (model, strict) through to every
+	// substream.
+	query := queryString(r)
+	ctx := r.Context()
+	subs := map[string]*monSub{}
+	demux := MonitorDemux{Lines: map[string]int64{}, Errors: map[string]string{}}
+
+	br := bufio.NewReaderSize(body, 64<<10)
+	for {
+		line, err := readLine(br)
+		if len(line) > 0 {
+			g.routeLine(ctx, line, query, subs, &demux)
+		}
+		if err != nil {
+			break
+		}
+	}
+
+	// End of input: close every substream (EOF to the replica) and collect.
+	for _, s := range subs {
+		s.pw.Close()
+	}
+	agg := MonitorAggregate{Gateway: demux}
+	succeeded := 0
+	names := make([]string, 0, len(subs))
+	for name := range subs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := subs[name]
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+		}
+		if s.err != nil {
+			demux.Errors[name] = s.err.Error()
+			continue
+		}
+		if s.status >= 300 {
+			demux.Errors[name] = fmt.Sprintf("status %d", s.status)
+			if s.resp.Error != "" && agg.Error == "" {
+				agg.Error = s.resp.Error
+			}
+			continue
+		}
+		succeeded++
+		mergeReport(&agg.MonitorReport, s.resp.MonitorReport)
+		if s.resp.Error != "" && agg.Error == "" {
+			agg.Error = s.resp.Error
+		}
+	}
+	agg.Gateway = demux
+	if succeeded == 0 && len(subs) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		json.NewEncoder(w).Encode(agg)
+		return
+	}
+	writeJSON(w, agg)
+}
+
+// routeLine sends one line to the first live substream in its trace's ring
+// preference order, opening substreams lazily and failing over past dead
+// ones.
+func (g *Gateway) routeLine(ctx context.Context, line []byte, query string, subs map[string]*monSub, demux *MonitorDemux) {
+	key := lineKey(line)
+	now := time.Now()
+	for i, name := range g.ring.Lookup(key) {
+		rep := g.replicas[name]
+		s := subs[name]
+		if s == nil {
+			// Don't open a fresh substream to a replica already out of
+			// rotation; its traces belong to their successor right away.
+			if !rep.routable(now) {
+				continue
+			}
+			s = g.openMonSub(ctx, rep, query)
+			subs[name] = s
+		}
+		if s.failed.Load() {
+			continue
+		}
+		if _, err := s.pw.Write(append(line, '\n')); err != nil {
+			s.fail(err)
+			continue
+		}
+		s.lines++
+		rep.monitorLines.Add(1)
+		demux.Lines[name]++
+		if i > 0 {
+			demux.Rerouted++
+			g.rerouted.Add(1)
+		}
+		return
+	}
+	demux.Lost++
+	g.lost.Add(1)
+}
+
+// readLine reads one line (without the terminator) of any length.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+			chunk = chunk[:len(chunk)-1]
+		}
+		if len(chunk) > 0 && chunk[len(chunk)-1] == '\r' {
+			chunk = chunk[:len(chunk)-1]
+		}
+		line = append(line, chunk...)
+		if err == nil || !errors.Is(err, bufio.ErrBufferFull) {
+			return line, err
+		}
+		// ErrBufferFull: the line continues; keep accumulating.
+	}
+}
+
+// lineKey extracts a monitor line's routing key: the trace=N token of the
+// repo's log-line grammar (logparse: "wf=... trace=N node=..."), namespaced
+// like ring.TraceKey so the forwarding path and the demux agree. Lines
+// without a trace token (malformed input) hash by content — they carry no
+// tracker state, so any stable assignment works.
+func lineKey(line []byte) string {
+	s := string(line)
+	i := strings.Index(s, "trace=")
+	for i >= 0 {
+		if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+			rest := s[i+len("trace="):]
+			end := 0
+			for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+				end++
+			}
+			if end > 0 {
+				return "trace:" + rest[:end]
+			}
+		}
+		k := strings.Index(s[i+1:], "trace=")
+		if k < 0 {
+			break
+		}
+		i += 1 + k
+	}
+	return s
+}
+
+// mergeReport folds one replica's monitor report into the fleet total.
+func mergeReport(dst *core.MonitorReport, src core.MonitorReport) {
+	dst.Processed += src.Processed
+	dst.Alerts += src.Alerts
+	dst.Malformed += src.Malformed
+	dst.FlaggedTraces += src.FlaggedTraces
+	dst.ActiveTraces += src.ActiveTraces
+	dst.EvictedTraces += src.EvictedTraces
+	dst.CascadeEvaluated += src.CascadeEvaluated
+	dst.CascadeShort += src.CascadeShort
+}
+
+// handleAlerts is GET /v1/alerts: the fleet's SSE streams fanned into one.
+// A reader goroutine per replica copies event blocks into the client's
+// stream, reconnecting (on the health interval) while the replica is away —
+// a replica dying mid-stream costs its undelivered events, not the
+// subscription.
+func (g *Gateway) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ctx := r.Context()
+	events := make(chan []byte, 64)
+	var wg sync.WaitGroup
+	for _, name := range g.names {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			g.alertReader(ctx, rep, events)
+		}(g.replicas[name])
+	}
+	defer wg.Wait()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprintf(w, ": streaming fleet alerts (%d replicas)\n\n", len(g.names))
+	fl.Flush()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-g.closed:
+			return
+		case block := <-events:
+			w.Write(block)
+			fl.Flush()
+		}
+	}
+}
+
+// alertReader subscribes to one replica's /v1/alerts and forwards complete
+// event blocks. It lives exactly as long as the client's request context.
+func (g *Gateway) alertReader(ctx context.Context, rep *replica, events chan<- []byte) {
+	for ctx.Err() == nil {
+		g.copyAlerts(ctx, rep, events)
+		select {
+		case <-ctx.Done():
+			return
+		case <-g.closed:
+			return
+		case <-time.After(g.cfg.HealthInterval):
+		}
+	}
+}
+
+// copyAlerts is one subscription attempt: connect, then forward event blocks
+// until the stream ends.
+func (g *Gateway) copyAlerts(ctx context.Context, rep *replica, events chan<- []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/v1/alerts", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxBody)
+	var block []byte
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			// Block boundary: forward non-comment blocks.
+			if len(block) > 0 && block[0] != ':' {
+				out := append(block, '\n')
+				select {
+				case events <- out:
+				case <-ctx.Done():
+					return
+				case <-g.closed:
+					return
+				}
+			}
+			block = nil
+			continue
+		}
+		block = append(block, line...)
+		block = append(block, '\n')
+	}
+}

@@ -1,0 +1,142 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingBalance checks key-distribution balance: over many trace keys,
+// every member's share stays within tolerance of fair share.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		r := New(members(n), 0)
+		const keys = 20000
+		counts := map[string]int{}
+		for k := 0; k < keys; k++ {
+			counts[r.Owner(TraceKey(k))]++
+		}
+		fair := float64(keys) / float64(n)
+		for m, c := range counts {
+			if dev := float64(c)/fair - 1; dev < -0.25 || dev > 0.25 {
+				t.Errorf("n=%d: member %s owns %d keys (fair %.0f, deviation %+.0f%%)",
+					n, m, c, fair, dev*100)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d members own keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingMinimalRemapping ejects one member and checks that only its keys
+// move — and that each moves to that key's next preference, so re-admission
+// restores the original assignment exactly.
+func TestRingMinimalRemapping(t *testing.T) {
+	ms := members(3)
+	r := New(ms, 0)
+	ejected := ms[1]
+
+	route := func(key string, down string) string {
+		for _, m := range r.Lookup(key) {
+			if m != down {
+				return m
+			}
+		}
+		return ""
+	}
+
+	const keys = 5000
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := TraceKey(k)
+		before := route(key, "")
+		during := route(key, ejected)
+		after := route(key, "")
+		if after != before {
+			t.Fatalf("key %s: re-admission moved it %s → %s", key, before, after)
+		}
+		if before != ejected {
+			if during != before {
+				t.Fatalf("key %s owned by healthy %s moved to %s during ejection", key, before, during)
+			}
+			continue
+		}
+		moved++
+		if during == ejected || during == "" {
+			t.Fatalf("key %s still routed to ejected member", key)
+		}
+		if want := r.Lookup(key)[1]; during != want {
+			t.Fatalf("key %s re-routed to %s, want next preference %s", key, during, want)
+		}
+	}
+	// The ejected member owned roughly a third of the keyspace; only those
+	// keys may move.
+	if fair := keys / 3; moved < fair/2 || moved > fair*2 {
+		t.Fatalf("%d keys moved on ejection, want ≈%d", moved, fair)
+	}
+}
+
+// TestRingDeterminism pins the layout as a pure function of the member set:
+// insertion order and duplicates must not matter, and preference orders must
+// be identical across independently built rings.
+func TestRingDeterminism(t *testing.T) {
+	a := New([]string{"r1", "r2", "r3"}, 64)
+	b := New([]string{"r3", "r1", "r2", "r1"}, 64)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member sets differ: %v vs %v", a.Members(), b.Members())
+	}
+	for k := 0; k < 1000; k++ {
+		key := TraceKey(k)
+		if !reflect.DeepEqual(a.Lookup(key), b.Lookup(key)) {
+			t.Fatalf("key %s: preference order differs: %v vs %v", key, a.Lookup(key), b.Lookup(key))
+		}
+	}
+}
+
+// TestRingPreferenceOrder checks Lookup's contract: every member exactly
+// once, owner first.
+func TestRingPreferenceOrder(t *testing.T) {
+	ms := members(4)
+	r := New(ms, 0)
+	for k := 0; k < 200; k++ {
+		key := TraceKey(k)
+		order := r.Lookup(key)
+		if len(order) != len(ms) {
+			t.Fatalf("key %s: %d entries, want %d", key, len(order), len(ms))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("key %s: first preference %s != owner %s", key, order[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("key %s: duplicate member %s in %v", key, m, order)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingEmpty pins the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	r := New(nil, 0)
+	if got := r.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := r.Lookup("x"); got != nil {
+		t.Fatalf("empty ring lookup = %v", got)
+	}
+	one := New([]string{"solo"}, 3)
+	if got := one.Lookup("x"); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-member lookup = %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterBasic(t *testing.T) {
+	var w PromWriter
+	w.Gauge("repro_queue_len", "jobs queued", 3, "model", "default")
+	w.Counter("repro_requests_total", "accepted requests", 120, "model", "default")
+	w.Counter("repro_requests_total", "accepted requests", 7, "model", "alt")
+	got := string(w.Bytes())
+
+	want := strings.Join([]string{
+		"# HELP repro_queue_len jobs queued",
+		"# TYPE repro_queue_len gauge",
+		`repro_queue_len{model="default"} 3`,
+		"# HELP repro_requests_total accepted requests",
+		"# TYPE repro_requests_total counter",
+		`repro_requests_total{model="default"} 120`,
+		`repro_requests_total{model="alt"} 7`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromWriterHeadersOncePerName(t *testing.T) {
+	var w PromWriter
+	w.Gauge("m", "h", 1, "a", "x")
+	w.Gauge("m", "h", 2, "a", "y")
+	if n := strings.Count(string(w.Bytes()), "# TYPE m gauge"); n != 1 {
+		t.Fatalf("TYPE header emitted %d times, want 1", n)
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var w PromWriter
+	w.Gauge("m", "h", 1, "path", `a\b"c`+"\n")
+	got := string(w.Bytes())
+	if !strings.Contains(got, `m{path="a\\b\"c\n"} 1`) {
+		t.Fatalf("label not escaped: %q", got)
+	}
+}
+
+func TestPromWriterValueFormat(t *testing.T) {
+	var w PromWriter
+	w.Gauge("a", "h", 1234567890)
+	w.Gauge("b", "h", 0.25)
+	got := string(w.Bytes())
+	if !strings.Contains(got, "a 1234567890\n") {
+		t.Fatalf("integer value mangled: %q", got)
+	}
+	if !strings.Contains(got, "b 0.25\n") {
+		t.Fatalf("float value mangled: %q", got)
+	}
+}
+
+func TestPromWriterNoLabels(t *testing.T) {
+	var w PromWriter
+	w.Counter("up_total", "h", 5)
+	if !strings.Contains(string(w.Bytes()), "up_total 5\n") {
+		t.Fatalf("unlabeled sample mangled: %q", string(w.Bytes()))
+	}
+}

@@ -45,6 +45,17 @@ type Client struct {
 	BreakerOpen  atomic.Int64
 }
 
+// RetryableStatus reports whether a response status is worth retrying: the
+// server shed (429) or a hop failed transiently (502/503/504). Other 5xx
+// (500, 501) are bugs, not load. Exported for the gateway, whose
+// replica-rotation loop applies the same taxonomy as Client.Do.
+func RetryableStatus(code int) bool { return retryableStatus(code) }
+
+// RetryAfterHint extracts a response's server-side drain estimate —
+// Retry-After-Ms (milliseconds) over RFC 9110 Retry-After (whole seconds) —
+// or zero. Exported for the gateway's per-replica 429 cooldowns.
+func RetryAfterHint(resp *http.Response) time.Duration { return retryAfterHint(resp) }
+
 // retryableStatus reports whether a response status is worth retrying: the
 // server shed (429) or a hop failed transiently (502/503/504). Other 5xx
 // (500, 501) are bugs, not load.

@@ -1,0 +1,108 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// HedgeResult reports what a Hedged call actually did — the telemetry the
+// gateway exports (hedges launched, hedges that won).
+type HedgeResult struct {
+	// Launched is true when the hedge attempt was actually started (the
+	// primary outlived the delay and the budget granted a token).
+	Launched bool
+	// WonByHedge is true when the returned value came from the hedge
+	// attempt rather than the primary.
+	WonByHedge bool
+	// Denied is true when the hedge was due but the retry budget refused
+	// it — the backstop that keeps hedging from amplifying an outage.
+	Denied bool
+}
+
+// Hedged runs primary immediately and, if it has not finished after delay,
+// launches hedge concurrently — the classic tail-latency move: the p99
+// straggler is overtaken by a second copy of the request on another replica,
+// while the p50 case never pays for it. The first success wins and the
+// loser's context is cancelled. Safety rails:
+//
+//   - The hedge only launches if budget grants a retry token (nil budget
+//     means always), so hedges self-limit exactly like retries when the
+//     fleet is unhealthy.
+//   - A primary that fails before the delay returns immediately without
+//     hedging: fast failures are the retry loop's job (the caller decides
+//     whether another attempt is in budget), hedging is for slowness.
+//   - If the first finisher failed while the other attempt is still in
+//     flight, Hedged waits for the other — a failed primary must not
+//     discard a hedge that is about to succeed.
+//
+// Both attempt callbacks must tolerate context cancellation and must fully
+// consume any resources before returning (Hedged cancels both attempt
+// contexts when it returns, so e.g. an *http.Response body must be read
+// before the callback returns, not after).
+func Hedged[T any](ctx context.Context, delay time.Duration, budget *Budget,
+	primary, hedge func(context.Context) (T, error)) (T, HedgeResult, error) {
+
+	type outcome struct {
+		v         T
+		err       error
+		fromHedge bool
+	}
+	var hr HedgeResult
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	ch := make(chan outcome, 2) // buffered: a losing attempt must not leak its goroutine
+	go func() {
+		v, err := primary(pctx)
+		ch <- outcome{v: v, err: err}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.v, hr, out.err
+	case <-ctx.Done():
+		var zero T
+		return zero, hr, ctx.Err()
+	case <-timer.C:
+	}
+
+	// The primary is slow. Hedge if the budget allows; otherwise keep
+	// waiting on the primary alone.
+	if budget != nil && !budget.Withdraw() {
+		hr.Denied = true
+		select {
+		case out := <-ch:
+			return out.v, hr, out.err
+		case <-ctx.Done():
+			var zero T
+			return zero, hr, ctx.Err()
+		}
+	}
+	hr.Launched = true
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	go func() {
+		v, err := hedge(hctx)
+		ch <- outcome{v: v, err: err, fromHedge: true}
+	}()
+
+	first := <-ch
+	if first.err == nil {
+		// Winner: cancel the loser and return.
+		hr.WonByHedge = first.fromHedge
+		return first.v, hr, nil
+	}
+	// The first finisher failed; the other attempt may still succeed.
+	second := <-ch
+	hr.WonByHedge = second.fromHedge && second.err == nil
+	if second.err == nil {
+		return second.v, hr, nil
+	}
+	// Both failed: report the primary's error (the hedge usually fails
+	// with a cancellation-shaped error that would mask the real cause).
+	if first.fromHedge {
+		return second.v, hr, second.err
+	}
+	return first.v, hr, first.err
+}

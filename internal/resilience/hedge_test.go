@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestHedgedFastPrimary: a primary finishing inside the delay wins without a
+// hedge ever launching.
+func TestHedgedFastPrimary(t *testing.T) {
+	hedged := make(chan struct{}, 1)
+	v, hr, err := Hedged(context.Background(), 500*time.Millisecond, nil,
+		func(ctx context.Context) (string, error) { return "primary", nil },
+		func(ctx context.Context) (string, error) { hedged <- struct{}{}; return "hedge", nil },
+	)
+	if err != nil || v != "primary" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+	if hr.Launched || hr.WonByHedge {
+		t.Fatalf("hedge launched on a fast primary: %+v", hr)
+	}
+	select {
+	case <-hedged:
+		t.Fatal("hedge callback ran")
+	default:
+	}
+}
+
+// TestHedgedSlowPrimary: the hedge launches after the delay, wins, and the
+// primary's context is cancelled.
+func TestHedgedSlowPrimary(t *testing.T) {
+	primaryCancelled := make(chan struct{})
+	v, hr, err := Hedged(context.Background(), 5*time.Millisecond, nil,
+		func(ctx context.Context) (string, error) {
+			<-ctx.Done()
+			close(primaryCancelled)
+			return "", ctx.Err()
+		},
+		func(ctx context.Context) (string, error) { return "hedge", nil },
+	)
+	if err != nil || v != "hedge" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+	if !hr.Launched || !hr.WonByHedge {
+		t.Fatalf("outcome %+v, want launched hedge win", hr)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("loser's context was not cancelled")
+	}
+}
+
+// TestHedgedBudgetDenied: an empty budget suppresses the hedge; the slow
+// primary still answers.
+func TestHedgedBudgetDenied(t *testing.T) {
+	b := NewBudget(1, 0.1)
+	if !b.Withdraw() {
+		t.Fatal("setup: bucket should start full")
+	} // drain it
+	v, hr, err := Hedged(context.Background(), time.Millisecond, b,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(20 * time.Millisecond)
+			return "primary", nil
+		},
+		func(ctx context.Context) (string, error) { return "hedge", nil },
+	)
+	if err != nil || v != "primary" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+	if hr.Launched || !hr.Denied {
+		t.Fatalf("outcome %+v, want denied, not launched", hr)
+	}
+}
+
+// TestHedgedFastFailure: a primary failing before the delay returns
+// immediately — fast failures belong to the retry loop, not the hedger.
+func TestHedgedFastFailure(t *testing.T) {
+	boom := errors.New("boom")
+	start := time.Now()
+	_, hr, err := Hedged(context.Background(), time.Hour, nil,
+		func(ctx context.Context) (string, error) { return "", boom },
+		func(ctx context.Context) (string, error) { return "hedge", nil },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if hr.Launched {
+		t.Fatal("hedge launched on a fast failure")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("waited for the delay despite a fast failure")
+	}
+}
+
+// TestHedgedPrimaryFailsHedgeWins: a failure after the hedge launched waits
+// for the in-flight hedge instead of discarding it.
+func TestHedgedPrimaryFailsHedgeWins(t *testing.T) {
+	v, hr, err := Hedged(context.Background(), time.Millisecond, nil,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(10 * time.Millisecond)
+			return "", errors.New("primary died")
+		},
+		func(ctx context.Context) (string, error) {
+			time.Sleep(30 * time.Millisecond)
+			return "hedge", nil
+		},
+	)
+	if err != nil || v != "hedge" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+	if !hr.WonByHedge {
+		t.Fatalf("outcome %+v, want hedge win", hr)
+	}
+}
+
+// TestHedgedBothFail: the primary's error surfaces, not the hedge's.
+func TestHedgedBothFail(t *testing.T) {
+	pErr, hErr := errors.New("primary err"), errors.New("hedge err")
+	_, _, err := Hedged(context.Background(), time.Millisecond, nil,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(10 * time.Millisecond)
+			return "", pErr
+		},
+		func(ctx context.Context) (string, error) { return "", hErr },
+	)
+	if !errors.Is(err, pErr) {
+		t.Fatalf("err = %v, want the primary's", err)
+	}
+}
+
+// TestHedgedParentCancel: cancelling the caller's context unblocks Hedged.
+func TestHedgedParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Hedged(ctx, time.Hour, nil,
+			func(ctx context.Context) (string, error) { <-ctx.Done(); return "", ctx.Err() },
+			func(ctx context.Context) (string, error) { return "hedge", nil },
+		)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Hedged did not observe parent cancellation")
+	}
+}
